@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures through
+``repro.experiments`` and prints the text form of that artifact, so a
+``pytest benchmarks/ --benchmark-only -s`` run reproduces the evaluation
+section end to end.  Each experiment is expensive, so benchmarks run
+single-round via ``benchmark.pedantic``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run *fn* exactly once under the benchmark timer and return its result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,12 @@
+"""Fig. 6 — submission/completion latency and the DMWr ZF threshold."""
+
+from repro.experiments import fig06_queue_latency
+
+
+def test_bench_fig06_queue_latency(once):
+    result = once(fig06_queue_latency.run, repeats=15)
+    print()
+    print(fig06_queue_latency.report(result))
+    assert result.submission_is_flat  # paper: constant ~700 cycles
+    assert result.completion_is_monotone
+    assert result.contention_threshold == 1 << 25  # paper: 2^25 bytes

@@ -1,0 +1,12 @@
+"""Fig. 10 — per-site DevTLB miss traces."""
+
+from repro.experiments import fig10_wf_traces
+
+
+def test_bench_fig10_wf_traces(once):
+    result = once(fig10_wf_traces.run)
+    print()
+    print(fig10_wf_traces.report(result))
+    assert result.traces_have_activity
+    assert result.signatures_differ
+    assert result.slots == 250  # the paper's 250-slot trace

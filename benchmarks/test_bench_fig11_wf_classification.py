@@ -1,0 +1,15 @@
+"""Fig. 11 / Section VI-B — website fingerprinting classification.
+
+Reduced scale (10 sites x 10 visits vs. the paper's 100 x 200); the
+pipeline is identical and scales linearly via the ``run`` parameters.
+"""
+
+from repro.experiments import fig11_wf_classification
+
+
+def test_bench_fig11_wf_classification(once):
+    result = once(fig11_wf_classification.run)
+    print()
+    print(fig11_wf_classification.report(result))
+    # Paper: 96.5% on a 15-site subset (chance here is 10%).
+    assert result.bilstm_accuracy >= 0.75

@@ -1,0 +1,11 @@
+"""Extension: IOTLB capacity reverse engineering via probe latency."""
+
+from repro.experiments import iotlb_study
+
+
+def test_bench_iotlb_study(once):
+    result = once(iotlb_study.run)
+    print()
+    print(iotlb_study.report(result))
+    assert result.inferred_capacity == result.configured_capacity
+    assert result.knee_matches_configuration

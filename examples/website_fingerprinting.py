@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Website fingerprinting demo (Section VI-B).
+
+The victim VM browses through a VPP/memif network path whose packet
+copies run on the DSA; the attacker samples the DevTLB from another VM,
+trains the Attention-BiLSTM on labeled traces, and then identifies which
+site an *unlabeled* visit belongs to.
+
+Run:  python examples/website_fingerprinting.py   (~1-2 minutes)
+"""
+
+import numpy as np
+
+from repro.experiments.wf_common import WfSamplerSettings, collect_website_trace
+from repro.ml.model import AttentionBiLstmClassifier
+from repro.ml.train import TrainConfig, Trainer
+from repro.workloads.websites import top_sites
+
+SITES = 5
+TRAIN_VISITS = 10
+SETTINGS = WfSamplerSettings(sample_period_us=100.0, samples_per_slot=40, slots=100)
+
+
+def main() -> None:
+    profiles = top_sites(SITES)
+    print("target sites:", ", ".join(p.name for p in profiles))
+
+    print(f"collecting {SITES * TRAIN_VISITS} training traces "
+          f"({SETTINGS.slots} slots each)...")
+    traces, labels = [], []
+    for label, profile in enumerate(profiles):
+        for visit in range(TRAIN_VISITS):
+            traces.append(
+                collect_website_trace(profile, seed=1000 + label * 100 + visit,
+                                      settings=SETTINGS)
+            )
+            labels.append(label)
+    x, y = np.stack(traces), np.array(labels)
+
+    print("training the Attention-BiLSTM...")
+    model = AttentionBiLstmClassifier(
+        classes=SITES, hidden=12, rng=np.random.default_rng(0)
+    )
+    trainer = Trainer(model, TrainConfig(epochs=60, batch_size=16))
+    trainer.fit(x, y)
+
+    print("classifying fresh, unlabeled visits:")
+    correct = 0
+    rng = np.random.default_rng(99)
+    for trial in range(SITES):
+        secret = int(rng.integers(0, SITES))
+        unknown = collect_website_trace(
+            profiles[secret], seed=90_000 + trial, settings=SETTINGS
+        )
+        guess = int(trainer.predict(unknown[None, :])[0])
+        verdict = "correct" if guess == secret else "WRONG"
+        correct += guess == secret
+        print(f"  visit {trial}: attacker says {profiles[guess].name:<18} "
+              f"actual {profiles[secret].name:<18} [{verdict}]")
+    print(f"identified {correct}/{SITES} unseen visits "
+          f"(paper: 85.7% over 100 sites, 96.5% over 15)")
+
+
+if __name__ == "__main__":
+    main()

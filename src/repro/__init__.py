@@ -1,0 +1,40 @@
+"""DSAssassin reproduction library.
+
+A production-quality behavioral model of the Intel Data Streaming
+Accelerator (DSA) and the cross-VM side-channel attacks built on it by
+*DSAssassin: Cross-VM Side-Channel Attacks by Exploiting Intel Data
+Streaming Accelerator* (HPCA 2026).
+
+Packages
+--------
+``repro.hw``
+    Simulated hardware base: TSC, physical memory, page tables, PCIe,
+    environment noise models.
+``repro.ats``
+    VT-d Address Translation Services: PASIDs, the IOMMU translation
+    agent, the IOTLB, and the reverse-engineered per-engine DevTLB.
+``repro.dsa``
+    The DSA device: descriptors, work queues, portals (enqcmd/DMWr),
+    engines, the batch engine, the arbiter, and the Perfmon block.
+``repro.virt``
+    Virtual machines, guest processes, and the hypervisor's scalable-IOV
+    portal mapping.
+``repro.core``
+    The paper's attack primitives: DevTLB Prime+Probe and SWQ
+    Congest+Probe, plus calibration and trace sampling.
+``repro.covert``
+    The cross-VM covert channel (Fig. 9).
+``repro.workloads``
+    Victim workloads: DTO, VPP/memif, website traffic, SSH keystrokes,
+    LLM inference.
+``repro.ml``
+    NumPy-from-scratch Attention-BiLSTM classifier and baselines.
+``repro.mitigation``
+    Software/hardware mitigations and the Fig. 14 overhead harness.
+``repro.analysis``
+    Statistics, keystroke-event evaluation, and report formatting.
+``repro.experiments``
+    One runnable module per paper table and figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,15 @@
+"""Analysis utilities: statistics, keystroke evaluation, reporting."""
+
+from repro.analysis.keystroke_eval import KeystrokeEvaluation, evaluate_keystrokes
+from repro.analysis.reporting import format_histogram, format_table
+from repro.analysis.stats import confidence_interval_95, geometric_mean, summarize
+
+__all__ = [
+    "KeystrokeEvaluation",
+    "confidence_interval_95",
+    "evaluate_keystrokes",
+    "format_histogram",
+    "format_table",
+    "geometric_mean",
+    "summarize",
+]

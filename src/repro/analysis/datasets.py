@@ -1,0 +1,115 @@
+"""Trace-dataset persistence.
+
+The paper's artifact collects datasets for hours (the full top-100 sweep
+takes "approximately a day") and analyzes them offline.  This module
+gives collections a stable on-disk form: traces + labels + class names +
+free-form metadata in one ``.npz``, with the metadata JSON-encoded so the
+file stays self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+#: Format marker stored in every file.
+FORMAT_VERSION = 1
+
+
+@dataclass
+class TraceDataset:
+    """An in-memory labeled trace collection."""
+
+    traces: np.ndarray  # (samples, T)
+    labels: np.ndarray  # (samples,)
+    class_names: tuple[str, ...]
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.traces = np.asarray(self.traces)
+        self.labels = np.asarray(self.labels)
+        if self.traces.ndim != 2:
+            raise ValueError(f"traces must be (samples, T), got {self.traces.shape}")
+        if len(self.traces) != len(self.labels):
+            raise ValueError("traces and labels must align")
+        if self.labels.size and self.labels.max() >= len(self.class_names):
+            raise ValueError("a label exceeds the class-name table")
+
+    @property
+    def samples(self) -> int:
+        """Number of traces."""
+        return len(self.traces)
+
+    @property
+    def slots(self) -> int:
+        """Trace length."""
+        return int(self.traces.shape[1])
+
+    def class_counts(self) -> dict[str, int]:
+        """Traces per class name."""
+        return {
+            name: int((self.labels == index).sum())
+            for index, name in enumerate(self.class_names)
+        }
+
+    def subset(self, class_indices: list[int]) -> "TraceDataset":
+        """A new dataset restricted to *class_indices* (relabeled 0..k)."""
+        mapping = {old: new for new, old in enumerate(class_indices)}
+        mask = np.isin(self.labels, class_indices)
+        return TraceDataset(
+            traces=self.traces[mask],
+            labels=np.array([mapping[int(label)] for label in self.labels[mask]]),
+            class_names=tuple(self.class_names[i] for i in class_indices),
+            metadata=dict(self.metadata),
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Write the dataset to *path* (``.npz``)."""
+        path = Path(path)
+        np.savez_compressed(
+            path,
+            traces=self.traces,
+            labels=self.labels,
+            class_names=np.array(self.class_names, dtype=object),
+            metadata=json.dumps(
+                {"format_version": FORMAT_VERSION, **self.metadata}
+            ),
+        )
+        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TraceDataset":
+        """Read a dataset written by :meth:`save`."""
+        with np.load(Path(path), allow_pickle=True) as archive:
+            metadata = json.loads(str(archive["metadata"]))
+            version = metadata.pop("format_version", None)
+            if version != FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported dataset format version {version!r}"
+                )
+            return cls(
+                traces=archive["traces"],
+                labels=archive["labels"],
+                class_names=tuple(str(n) for n in archive["class_names"]),
+                metadata=metadata,
+            )
+
+    @classmethod
+    def merge(cls, first: "TraceDataset", second: "TraceDataset") -> "TraceDataset":
+        """Concatenate two collections with identical class tables."""
+        if first.class_names != second.class_names:
+            raise ValueError("datasets have different class tables")
+        if first.slots != second.slots:
+            raise ValueError("datasets have different trace lengths")
+        return cls(
+            traces=np.concatenate([first.traces, second.traces]),
+            labels=np.concatenate([first.labels, second.labels]),
+            class_names=first.class_names,
+            metadata={**second.metadata, **first.metadata},
+        )

@@ -1,0 +1,98 @@
+"""Keystroke-detection scoring (Section VI-C).
+
+Ground-truth keystrokes and attacker-detected events are matched
+greedily in time order within a tolerance window; the paper reports
+precision, recall, F1, and the standard deviation of the matched
+timestamp differences (in ms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.units import DEFAULT_TSC_HZ
+from repro.ml.metrics import precision_recall_f1
+
+#: Detections further than this from any keystroke count as false
+#: positives (half the minimum plausible inter-key gap).
+DEFAULT_TOLERANCE_MS = 40.0
+
+
+@dataclass(frozen=True)
+class KeystrokeEvaluation:
+    """Scored detection run."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    precision: float
+    recall: float
+    f1: float
+    #: Standard deviation of (detected - actual) for matched events, ms.
+    timestamp_std_ms: float
+    #: Mean absolute timing error of matched events, ms.
+    timestamp_mae_ms: float
+
+    @property
+    def detections(self) -> int:
+        """Total events the attacker reported."""
+        return self.true_positives + self.false_positives
+
+    @property
+    def ground_truth(self) -> int:
+        """Total real keystrokes."""
+        return self.true_positives + self.false_negatives
+
+
+def evaluate_keystrokes(
+    truth_cycles: np.ndarray,
+    detected_cycles: np.ndarray,
+    tolerance_ms: float = DEFAULT_TOLERANCE_MS,
+    tsc_hz: int = DEFAULT_TSC_HZ,
+) -> KeystrokeEvaluation:
+    """Match detections to ground truth and score them.
+
+    Greedy one-to-one matching in time order: each ground-truth event
+    takes the nearest unmatched detection within the tolerance.
+    """
+    truth = np.sort(np.asarray(truth_cycles, dtype=np.float64))
+    detected = np.sort(np.asarray(detected_cycles, dtype=np.float64))
+    tolerance = tolerance_ms * 1e-3 * tsc_hz
+
+    matched_errors: list[float] = []
+    used = np.zeros(len(detected), dtype=bool)
+    for event in truth:
+        candidates = np.flatnonzero(
+            (~used) & (np.abs(detected - event) <= tolerance)
+        )
+        if candidates.size == 0:
+            continue
+        best = candidates[np.abs(detected[candidates] - event).argmin()]
+        used[best] = True
+        matched_errors.append(float(detected[best] - event))
+
+    true_positives = len(matched_errors)
+    false_positives = int((~used).sum())
+    false_negatives = len(truth) - true_positives
+    precision, recall, f1 = precision_recall_f1(
+        true_positives, false_positives, false_negatives
+    )
+    if matched_errors:
+        errors_ms = np.array(matched_errors) / tsc_hz * 1e3
+        std_ms = float(errors_ms.std(ddof=1)) if len(errors_ms) > 1 else 0.0
+        mae_ms = float(np.abs(errors_ms).mean())
+    else:
+        std_ms = float("nan")
+        mae_ms = float("nan")
+    return KeystrokeEvaluation(
+        true_positives=true_positives,
+        false_positives=false_positives,
+        false_negatives=false_negatives,
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        timestamp_std_ms=std_ms,
+        timestamp_mae_ms=mae_ms,
+    )

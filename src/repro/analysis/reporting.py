@@ -1,0 +1,56 @@
+"""Plain-text reporting: aligned tables and ASCII histograms.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output readable in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned text table."""
+    if not headers:
+        raise ValueError("a table needs headers")
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_histogram(
+    values: np.ndarray, bins: int = 20, width: int = 50, label: str = ""
+) -> str:
+    """Render an ASCII histogram (used for the Fig. 4 latency clouds)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot plot zero samples")
+    counts, edges = np.histogram(values, bins=bins)
+    peak = counts.max() if counts.max() else 1
+    lines = [label] if label else []
+    for count, low, high in zip(counts, edges, edges[1:]):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"{low:10.0f}-{high:<10.0f} |{bar} {count}")
+    return "\n".join(lines)
+
+
+def format_series(xs: Sequence[object], ys: Sequence[object], name: str) -> str:
+    """Render an (x, y) series as rows — the text form of a figure line."""
+    if len(xs) != len(ys):
+        raise ValueError("series lengths differ")
+    lines = [f"series: {name}"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x}\t{y}")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Statistics used by the evaluation tables.
+
+Table III reports 95 % confidence intervals around the geometric mean of
+the quiet-local measurements and checks that every noisy-environment
+sample falls inside them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+def geometric_mean(values: np.ndarray) -> float:
+    """Geometric mean (values must be positive)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot average zero samples")
+    if np.any(values <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.log(values).mean()))
+
+
+def confidence_interval_95(values: np.ndarray) -> tuple[float, float]:
+    """Return ``(mean, h)`` such that the 95 % CI is ``mean ± h``.
+
+    Uses the t-distribution (the sample counts in Table III are ~50).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size < 2:
+        raise ValueError("confidence interval needs at least 2 samples")
+    mean = float(values.mean())
+    sem = float(values.std(ddof=1) / np.sqrt(values.size))
+    h = float(sem * scipy_stats.t.ppf(0.975, values.size - 1))
+    return mean, h
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    mean: float
+    std: float
+    median: float
+    minimum: float
+    maximum: float
+    count: int
+
+
+def summarize(values: np.ndarray) -> Summary:
+    """Compute a :class:`Summary`."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot summarize zero samples")
+    return Summary(
+        mean=float(values.mean()),
+        std=float(values.std(ddof=1)) if values.size > 1 else 0.0,
+        median=float(np.median(values)),
+        minimum=float(values.min()),
+        maximum=float(values.max()),
+        count=int(values.size),
+    )

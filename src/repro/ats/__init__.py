@@ -1,0 +1,34 @@
+"""VT-d Address Translation Services substrate.
+
+Models the translation path the paper describes in Section II-B:
+
+* :mod:`repro.ats.pasid` — Process Address Space ID allocation and the
+  PASID table that binds a PASID to a process page table.
+* :mod:`repro.ats.iotlb` — the IOMMU's PASID-tagged, set-associative
+  IOTLB (properly isolated, per VT-d scalable mode).
+* :mod:`repro.ats.devtlb` — the device-side TLB the paper
+  reverse-engineers: indexed by engine ID and descriptor field type,
+  one slot per sub-entry, **not** tagged by PASID.
+* :mod:`repro.ats.agent` — the Translation Agent that services ATS
+  translation requests by walking the PASID-selected page table.
+* :mod:`repro.ats.prs` — the Page Request Service used for device-side
+  page faults.
+"""
+
+from repro.ats.agent import TranslationAgent, TranslationResult
+from repro.ats.devtlb import DevTlb, DevTlbConfig, FieldType
+from repro.ats.iotlb import IoTlb
+from repro.ats.pasid import PasidAllocator, PasidTable
+from repro.ats.prs import PageRequestService
+
+__all__ = [
+    "DevTlb",
+    "DevTlbConfig",
+    "FieldType",
+    "IoTlb",
+    "PageRequestService",
+    "PasidAllocator",
+    "PasidTable",
+    "TranslationAgent",
+    "TranslationResult",
+]

@@ -1,0 +1,127 @@
+"""The IOMMU's IOTLB.
+
+Under VT-d scalable mode the IOTLB is tagged with the PASID, which is
+exactly the isolation the paper says mitigates *traditional* IOTLB attacks
+(DevIOus-style).  The model is a set-associative cache with true-LRU
+replacement within each set, indexed by the low bits of the virtual page
+number, and supports the per-PASID invalidations VT-d exposes.
+
+DSAssassin works *despite* this structure being safe — the leak lives in
+the DevTLB, which sits on the device side of the link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class IoTlbTag:
+    """Cache tag: the PASID makes entries per-process."""
+
+    pasid: int
+    virtual_page: int
+
+
+@dataclass
+class IoTlbStats:
+    """Hit/miss counters."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0 when no lookups yet)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class _Set:
+    """One cache set; ``order`` front = LRU, back = MRU."""
+
+    entries: dict[IoTlbTag, int] = field(default_factory=dict)
+    order: list[IoTlbTag] = field(default_factory=list)
+
+
+class IoTlb:
+    """PASID-tagged set-associative IOTLB with LRU replacement.
+
+    Parameters
+    ----------
+    sets:
+        Number of sets (power of two).
+    ways:
+        Associativity.
+    lookup_cycles:
+        Cost of one IOTLB lookup inside the translation agent.
+    """
+
+    def __init__(self, sets: int = 64, ways: int = 8, lookup_cycles: int = 28) -> None:
+        if sets <= 0 or sets & (sets - 1):
+            raise ValueError(f"sets must be a positive power of two, got {sets}")
+        if ways <= 0:
+            raise ValueError(f"ways must be positive, got {ways}")
+        self.sets = sets
+        self.ways = ways
+        self.lookup_cycles = lookup_cycles
+        self._sets = [_Set() for _ in range(sets)]
+        self.stats = IoTlbStats()
+
+    def _set_for(self, virtual_page: int) -> _Set:
+        return self._sets[virtual_page & (self.sets - 1)]
+
+    def lookup(self, pasid: int, virtual_page: int) -> int | None:
+        """Look up a translation; return the physical frame or ``None``."""
+        tag = IoTlbTag(pasid=pasid, virtual_page=virtual_page)
+        cache_set = self._set_for(virtual_page)
+        frame = cache_set.entries.get(tag)
+        if frame is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        cache_set.order.remove(tag)
+        cache_set.order.append(tag)
+        return frame
+
+    def insert(self, pasid: int, virtual_page: int, physical_frame: int) -> None:
+        """Install a translation, evicting the set's LRU entry if full."""
+        tag = IoTlbTag(pasid=pasid, virtual_page=virtual_page)
+        cache_set = self._set_for(virtual_page)
+        if tag in cache_set.entries:
+            cache_set.order.remove(tag)
+        elif len(cache_set.entries) >= self.ways:
+            victim = cache_set.order.pop(0)
+            del cache_set.entries[victim]
+        cache_set.entries[tag] = physical_frame
+        cache_set.order.append(tag)
+
+    def invalidate_pasid(self, pasid: int) -> int:
+        """Drop every entry of *pasid* (VT-d PASID-selective invalidation)."""
+        dropped = 0
+        for cache_set in self._sets:
+            victims = [tag for tag in cache_set.entries if tag.pasid == pasid]
+            for tag in victims:
+                del cache_set.entries[tag]
+                cache_set.order.remove(tag)
+                dropped += 1
+        self.stats.invalidations += dropped
+        return dropped
+
+    def invalidate_all(self) -> None:
+        """Global invalidation."""
+        for cache_set in self._sets:
+            self.stats.invalidations += len(cache_set.entries)
+            cache_set.entries.clear()
+            cache_set.order.clear()
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid entries."""
+        return sum(len(s.entries) for s in self._sets)

@@ -1,0 +1,68 @@
+"""Page Request Service.
+
+ATS lets the device report major page faults to the OS instead of failing
+the transfer (Section II-B).  The model queues page requests and hands
+them to a registered handler — in the reproduction the handler is usually
+the owning process's "OS", which maps the page on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import TranslationFault
+
+#: Round-trip cost of a page request: interrupt the host, run the fault
+#: handler, respond to the device.  Page faults are catastrophically slower
+#: than any TLB effect, which is why attack buffers are always pre-faulted.
+PAGE_REQUEST_CYCLES = 12_000
+
+PageRequestHandler = Callable[[int, int, bool], bool]
+
+
+@dataclass(frozen=True)
+class PageRequest:
+    """One queued device page fault."""
+
+    pasid: int
+    virtual_address: int
+    write: bool
+    timestamp: int
+
+
+class PageRequestService:
+    """Queues device page faults and dispatches them to a handler."""
+
+    def __init__(self, handler: PageRequestHandler | None = None) -> None:
+        self._handler = handler
+        self._log: list[PageRequest] = []
+        self.resolved = 0
+        self.failed = 0
+
+    def set_handler(self, handler: PageRequestHandler) -> None:
+        """Install the OS-side fault handler."""
+        self._handler = handler
+
+    def report(self, pasid: int, virtual_address: int, write: bool, timestamp: int) -> int:
+        """Report a fault; return the cycles the device stalled.
+
+        Raises :class:`~repro.errors.TranslationFault` when no handler is
+        installed or the handler cannot resolve the fault — matching a
+        descriptor completing with a page-fault status.
+        """
+        request = PageRequest(pasid, virtual_address, write, timestamp)
+        self._log.append(request)
+        if self._handler is not None and self._handler(pasid, virtual_address, write):
+            self.resolved += 1
+            return PAGE_REQUEST_CYCLES
+        self.failed += 1
+        raise TranslationFault(
+            virtual_address,
+            f"unresolved device page fault at {virtual_address:#x} (PASID {pasid})",
+        )
+
+    @property
+    def log(self) -> tuple[PageRequest, ...]:
+        """Every request reported so far, in order."""
+        return tuple(self._log)

@@ -1,0 +1,33 @@
+"""DSAssassin's attack core.
+
+The paper's two primitives plus the measurement plumbing they share:
+
+* :mod:`repro.core.primitives` — the probe descriptors of Listing 1
+  (noop / memcmp / memcpy / dualcast) with polled-latency measurement.
+* :mod:`repro.core.calibration` — hit/miss threshold calibration.
+* :mod:`repro.core.devtlb_attack` — ``DSA_DevTLB``: Prime+Probe on the
+  completion-record sub-entry (Section V-B).
+* :mod:`repro.core.swq_attack` — ``DSA_SWQ``: Congest+Probe via the
+  ``EFLAGS.ZF`` answer of DMWr (Section V-C).
+* :mod:`repro.core.sampling` — 10 µs sampling loops and slot aggregation
+  used by every trace-collection attack (Sections VI-B/C/D).
+"""
+
+from repro.core.calibration import CalibrationResult, calibrate_threshold
+from repro.core.devtlb_attack import DevTlbProbeOutcome, DsaDevTlbAttack
+from repro.core.primitives import Prober
+from repro.core.sampling import DevTlbSampler, SamplerConfig, SwqSampler
+from repro.core.swq_attack import DsaSwqAttack, SwqRoundResult
+
+__all__ = [
+    "CalibrationResult",
+    "DevTlbProbeOutcome",
+    "DevTlbSampler",
+    "DsaDevTlbAttack",
+    "DsaSwqAttack",
+    "Prober",
+    "SamplerConfig",
+    "SwqRoundResult",
+    "SwqSampler",
+    "calibrate_threshold",
+]

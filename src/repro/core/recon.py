@@ -1,0 +1,137 @@
+"""Target reconnaissance: which engine / SWQ does the victim use?
+
+Section VI-C: *"the adversary first identifies the SWQ or engine used by
+the victim.  One approach is to initiate a temporary SSH connection
+while concurrently probing candidate SWQs from a separate process."*
+This module implements that step for both primitives:
+
+* :func:`find_victim_engine` — run a DevTLB Prime+Probe observer on each
+  candidate queue (hence each engine) while a caller-supplied *trigger*
+  provokes victim activity (e.g. opening an SSH connection); the engine
+  whose observer records evictions hosts the victim.
+* :func:`find_victim_swq` — same idea with Congest+Probe per candidate
+  shared queue.
+
+Both are unprivileged: binding to a queue and submitting descriptors is
+all they need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.devtlb_attack import DsaDevTlbAttack
+from repro.core.swq_attack import DsaSwqAttack
+from repro.errors import ConfigurationError
+from repro.hw.units import us_to_cycles
+from repro.virt.process import GuestProcess
+from repro.virt.scheduler import Timeline
+
+#: A callable that provokes victim DSA activity (e.g. opens a
+#: connection, sends a request).  Called once per observation window.
+VictimTrigger = Callable[[], None]
+
+
+@dataclass(frozen=True)
+class ReconObservation:
+    """Score for one candidate queue."""
+
+    wq_id: int
+    windows: int
+    hits: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of trigger windows with observed activity."""
+        return self.hits / self.windows if self.windows else 0.0
+
+
+@dataclass(frozen=True)
+class ReconResult:
+    """Scores for all candidates plus the verdict."""
+
+    observations: tuple[ReconObservation, ...]
+
+    @property
+    def best(self) -> ReconObservation:
+        """The candidate with the most activity."""
+        return max(self.observations, key=lambda o: o.hit_rate)
+
+    @property
+    def confident(self) -> bool:
+        """The winner clearly separates from the runner-up."""
+        ranked = sorted(self.observations, key=lambda o: o.hit_rate, reverse=True)
+        if len(ranked) == 1:
+            return ranked[0].hit_rate > 0.5
+        return ranked[0].hit_rate > 0.5 and ranked[0].hit_rate >= 2 * ranked[1].hit_rate
+
+
+def find_victim_engine(
+    attacker: GuestProcess,
+    candidate_wqs: list[int],
+    trigger: VictimTrigger,
+    timeline: Timeline,
+    windows: int = 6,
+    settle_us: float = 300.0,
+) -> ReconResult:
+    """Locate the victim's engine with DevTLB observers.
+
+    The attacker must have opened a portal on every candidate queue
+    (queues on distinct engines give engine-level resolution).
+    """
+    if not candidate_wqs:
+        raise ConfigurationError("no candidate queues to probe")
+    observations = []
+    for wq_id in candidate_wqs:
+        attack = DsaDevTlbAttack(attacker, wq_id=wq_id)
+        attack.calibrate(samples=30)
+        hits = 0
+        for _ in range(windows):
+            attack.prime()
+            trigger()
+            timeline.idle_until(timeline.clock.now + us_to_cycles(settle_us))
+            if attack.probe().evicted:
+                hits += 1
+        observations.append(
+            ReconObservation(wq_id=wq_id, windows=windows, hits=hits)
+        )
+    return ReconResult(observations=tuple(observations))
+
+
+def find_victim_swq(
+    attacker: GuestProcess,
+    candidate_wqs: list[int],
+    trigger: VictimTrigger,
+    timeline: Timeline,
+    windows: int = 6,
+    idle_us: float = 300.0,
+    anchor_bytes: int | None = None,
+) -> ReconResult:
+    """Locate the victim's shared queue with Congest+Probe observers.
+
+    The anchor must outlive the idle window (the paper's step-2 rule), so
+    its default size scales with *idle_us*.
+    """
+    if not candidate_wqs:
+        raise ConfigurationError("no candidate queues to probe")
+    if anchor_bytes is None:
+        # Execution spans 1.5x the idle window at ~15 B/cycle.
+        anchor_bytes = int(us_to_cycles(idle_us) * 1.5 * 15)
+    observations = []
+    for wq_id in candidate_wqs:
+        attack = DsaSwqAttack(attacker, wq_id=wq_id, anchor_bytes=anchor_bytes)
+        hits = 0
+        for _ in range(windows):
+            attack.congest()
+            trigger()
+            timeline.idle_until(timeline.clock.now + us_to_cycles(idle_us))
+            attack.portal.device.advance_to(timeline.clock.now)
+            if attack.probe():
+                hits += 1
+            attack.wait_drain()
+            timeline.run_until(timeline.clock.now)
+        observations.append(
+            ReconObservation(wq_id=wq_id, windows=windows, hits=hits)
+        )
+    return ReconResult(observations=tuple(observations))

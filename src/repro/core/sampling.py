@@ -1,0 +1,143 @@
+"""Trace sampling: the attacker's measurement loop.
+
+Sections VI-B/C/D all use the same recipe: sample the side channel on a
+fixed period (10 µs for website fingerprinting, keystrokes; the LLM attack
+uses 8 ms slots of 800 intervals) and aggregate *samples-per-slot* samples
+into one slot value — the number of positive observations (DevTLB
+evictions or SWQ contentions) per slot.  A sequence of slot values is one
+**trace**, the classifier's input.
+
+The samplers interleave with a :class:`~repro.virt.scheduler.Timeline`
+carrying the victim's scheduled activity, so traces reflect genuine
+device-level interleaving rather than post-hoc labeling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.devtlb_attack import DsaDevTlbAttack
+from repro.core.swq_attack import DsaSwqAttack
+from repro.hw.units import us_to_cycles
+from repro.virt.scheduler import Timeline
+
+
+@dataclass(frozen=True)
+class SamplerConfig:
+    """Sampling geometry.
+
+    Defaults match the website-fingerprinting setup: 10 µs sampling,
+    400 samples per slot (~4 ms per slot), 250 slots per trace.
+    """
+
+    sample_period_us: float = 10.0
+    samples_per_slot: int = 400
+    slots: int = 250
+
+    def __post_init__(self) -> None:
+        if self.sample_period_us <= 0:
+            raise ValueError("sample_period_us must be positive")
+        if self.samples_per_slot < 1 or self.slots < 1:
+            raise ValueError("samples_per_slot and slots must be >= 1")
+
+    @property
+    def slot_us(self) -> float:
+        """Wall-clock duration of one slot in microseconds."""
+        return self.sample_period_us * self.samples_per_slot
+
+    @property
+    def trace_us(self) -> float:
+        """Wall-clock duration of a full trace in microseconds."""
+        return self.slot_us * self.slots
+
+
+class DevTlbSampler:
+    """Collects eviction-count traces with the ``DSA_DevTLB`` primitive."""
+
+    def __init__(
+        self,
+        attack: DsaDevTlbAttack,
+        timeline: Timeline,
+        config: SamplerConfig | None = None,
+    ) -> None:
+        self.attack = attack
+        self.timeline = timeline
+        self.config = config or SamplerConfig()
+
+    def collect_trace(self) -> np.ndarray:
+        """One trace: per-slot DevTLB miss counts (length ``slots``)."""
+        config = self.config
+        clock = self.timeline.clock
+        period = us_to_cycles(config.sample_period_us)
+        trace = np.zeros(config.slots, dtype=np.int32)
+        self.attack.prime()
+        next_sample = clock.now
+        for slot in range(config.slots):
+            count = 0
+            for _ in range(config.samples_per_slot):
+                next_sample += period
+                self.timeline.idle_until(next_sample)
+                if self.attack.probe().evicted:
+                    count += 1
+            trace[slot] = count
+        return trace
+
+    def collect_events(self, samples: int) -> np.ndarray:
+        """Raw per-sample observations: array of (timestamp, evicted)."""
+        clock = self.timeline.clock
+        period = us_to_cycles(self.config.sample_period_us)
+        events = np.zeros((samples, 2), dtype=np.int64)
+        self.attack.prime()
+        next_sample = clock.now
+        for i in range(samples):
+            next_sample += period
+            self.timeline.idle_until(next_sample)
+            outcome = self.attack.probe()
+            events[i, 0] = outcome.timestamp
+            events[i, 1] = int(outcome.evicted)
+        return events
+
+
+class SwqSampler:
+    """Collects contention-count traces with the ``DSA_SWQ`` primitive.
+
+    Each congest-idle-probe round yields one binary observation; the
+    round duration is set by the anchor size, so ``samples_per_slot``
+    here is the number of *rounds* aggregated per slot.
+    """
+
+    def __init__(
+        self,
+        attack: DsaSwqAttack,
+        timeline: Timeline,
+        idle_cycles: int,
+        config: SamplerConfig | None = None,
+    ) -> None:
+        self.attack = attack
+        self.timeline = timeline
+        self.idle_cycles = idle_cycles
+        self.config = config or SamplerConfig(samples_per_slot=8)
+
+    def collect_trace(self) -> np.ndarray:
+        """One trace: per-slot contention counts (length ``slots``)."""
+        config = self.config
+        trace = np.zeros(config.slots, dtype=np.int32)
+        for slot in range(config.slots):
+            count = 0
+            for _ in range(config.samples_per_slot):
+                result = self.attack.run_round(self.idle_cycles, timeline=self.timeline)
+                if result.victim_detected:
+                    count += 1
+            trace[slot] = count
+        return trace
+
+    def collect_events(self, rounds: int) -> np.ndarray:
+        """Raw per-round observations: array of (probe_timestamp, hit)."""
+        events = np.zeros((rounds, 2), dtype=np.int64)
+        for i in range(rounds):
+            result = self.attack.run_round(self.idle_cycles, timeline=self.timeline)
+            events[i, 0] = result.probe_time
+            events[i, 1] = int(result.victim_detected)
+        return events

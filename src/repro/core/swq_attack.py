@@ -1,0 +1,179 @@
+"""``DSA_SWQ``: the timer-free Congest+Probe primitive (Section V-C).
+
+Requirements: the attacker shares the victim's **shared work queue** (E0
+topology).  Each round:
+
+1. **Congest** — submit one large memcpy to anchor the head of the SWQ
+   (it executes on the engine but holds its queue slot until completion),
+   then ``wq_size - 2`` simple descriptors, leaving exactly **one** free
+   slot.  ``wq_size`` is read with unprivileged ``accel-config``.
+2. **Idle** — wait a window shorter than the anchor's execution time.
+3. **Probe** — ``enqcmd`` one more descriptor and read ``EFLAGS.ZF``:
+   ZF set means the victim consumed the last slot during the idle window
+   (bit 1); ZF clear means the slot was still free (bit 0).
+
+No timing measurement is involved anywhere — the paper's point is that
+DMWr's accept/retry answer alone is a complete side channel.
+
+After the probe the queue is saturated either way, so each anchor yields
+one observation; the round length (and hence the sampling rate) is set by
+the anchor's transfer size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dsa.accel_config import AccelConfig
+from repro.dsa.descriptor import Descriptor, make_memcpy
+from repro.dsa.opcodes import DescriptorFlags, Opcode
+from repro.errors import ConfigurationError
+from repro.virt.process import GuestProcess
+
+#: Default anchor transfer size: ~500 us of engine time at the model's
+#: 30 GB/s memcpy throughput — long enough to hold a congestion window
+#: across an idle period, short enough for kilobit-scale covert rates.
+DEFAULT_ANCHOR_BYTES = 8 << 20
+
+
+@dataclass(frozen=True)
+class SwqRoundResult:
+    """One congest-idle-probe round."""
+
+    victim_detected: bool
+    round_start: int
+    probe_time: int
+
+
+class DsaSwqAttack:
+    """Congest+Probe on a shared work queue."""
+
+    def __init__(
+        self,
+        process: GuestProcess,
+        wq_id: int = 0,
+        anchor_bytes: int = DEFAULT_ANCHOR_BYTES,
+    ) -> None:
+        self.process = process
+        self.portal = process.portal(wq_id)
+        self.wq_id = wq_id
+        self.anchor_bytes = anchor_bytes
+        # Unprivileged read — exactly what the paper's attacker does.
+        self.wq_size = AccelConfig(self.portal.device, privileged=False).wq_size(wq_id)
+        if self.wq_size < 3:
+            raise ConfigurationError(
+                f"SWQ attack needs wq_size >= 3, got {self.wq_size}"
+            )
+        self._anchor_src = process.buffer(anchor_bytes)
+        self._anchor_dst = process.buffer(anchor_bytes)
+        self._anchor_comp = process.comp_record()
+        self._anchor_ticket = None
+        self._saturated_early = False
+        self.rounds = 0
+        self.detections = 0
+
+    # ------------------------------------------------------------------
+    # The three steps
+    # ------------------------------------------------------------------
+    def congest(self, anchor_bytes: int | None = None) -> None:
+        """Step 1: anchor + fillers, leaving exactly one free slot.
+
+        Must be called with the queue drained (the first round, or after
+        :meth:`wait_drain`).  *anchor_bytes* overrides the default anchor
+        size for this round (bounded by the pre-mapped buffers).
+        """
+        if anchor_bytes is None:
+            anchor_bytes = self.anchor_bytes
+        if anchor_bytes > self.anchor_bytes:
+            raise ConfigurationError(
+                f"anchor of {anchor_bytes} bytes exceeds the pre-mapped "
+                f"{self.anchor_bytes}-byte buffers"
+            )
+        anchor = make_memcpy(
+            self.process.pasid,
+            self._anchor_src,
+            self._anchor_dst,
+            anchor_bytes,
+            self._anchor_comp,
+        )
+        if self.portal.enqcmd(anchor):
+            raise ConfigurationError(
+                "SWQ not drained before congest(); call wait_drain() between rounds"
+            )
+        self._anchor_ticket = self.portal.last_ticket
+        filler = Descriptor(
+            opcode=Opcode.NOOP, pasid=self.process.pasid, flags=DescriptorFlags.NONE
+        )
+        self._saturated_early = False
+        for _ in range(self.wq_size - 2):
+            if self.portal.enqcmd(filler):
+                # The queue filled before we armed it: a victim descriptor
+                # (or a straggler from the last round) already holds a
+                # slot.  Treat the round as an early detection.
+                self._saturated_early = True
+                break
+
+    def probe(self) -> bool:
+        """Step 3: ``enqcmd`` and read ZF.
+
+        Returns ``True`` when the victim submitted during the idle window
+        (the queue was already full).  Purely flag-based — no ``rdtsc``.
+        """
+        self.rounds += 1
+        if self._saturated_early:
+            self._saturated_early = False
+            self.detections += 1
+            return True
+        probe_desc = Descriptor(
+            opcode=Opcode.NOOP, pasid=self.process.pasid, flags=DescriptorFlags.NONE
+        )
+        zf = self.portal.enqcmd(probe_desc)
+        if zf:
+            self.detections += 1
+        return zf
+
+    def wait_drain(self, margin_cycles: int | None = None) -> None:
+        """Wait until the anchor (and everything queued behind it) completed.
+
+        The margin covers the fillers and probe descriptor executing after
+        the anchor on the serial engine.
+        """
+        if margin_cycles is None:
+            margin_cycles = 12_000 + 1_600 * self.wq_size
+        if self._anchor_ticket is not None:
+            self.portal.wait(self._anchor_ticket)
+            self._anchor_ticket = None
+        clock = self.portal.clock
+        clock.advance(margin_cycles)
+        self.portal.device.advance_to(clock.now)
+
+    def run_round(
+        self, idle_cycles: int, timeline=None, anchor_bytes: int | None = None
+    ) -> SwqRoundResult:
+        """One full congest-idle-probe round.
+
+        *timeline*, when given, is consulted during the idle window so
+        scheduled victim actions interleave correctly.
+        """
+        clock = self.portal.clock
+        start = clock.now
+        self.congest(anchor_bytes=anchor_bytes)
+        target = clock.now + idle_cycles
+        if timeline is not None:
+            timeline.idle_until(target)
+        else:
+            clock.advance_to(target)
+        self.portal.device.advance_to(clock.now)
+        detected = self.probe()
+        probe_time = clock.now
+        self.wait_drain()
+        if timeline is not None:
+            timeline.run_until(clock.now)
+        return SwqRoundResult(
+            victim_detected=detected, round_start=start, probe_time=probe_time
+        )
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of rounds that detected a victim submission."""
+        return self.detections / self.rounds if self.rounds else 0.0

@@ -1,0 +1,81 @@
+"""Adaptive covert-channel rate selection.
+
+Fig. 9 is a manual sweep; a deployed channel tunes itself.  The sender
+and receiver agree on a short probe payload; the attacker pair walks the
+rate ladder, measures the true capacity at each rung, and settles on the
+best — the automated version of reading the Fig. 9 peak off the plot.
+
+Capacity is unimodal in the bit window (longer windows waste time,
+shorter ones drown in jitter), so a golden-section-style ladder descent
+converges in a handful of probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.covert.channel import CovertChannelResult
+
+
+@dataclass(frozen=True)
+class RateProbe:
+    """One ladder measurement."""
+
+    bit_window_us: float
+    true_bps: float
+    error_rate: float
+
+
+@dataclass(frozen=True)
+class AdaptiveResult:
+    """The chosen operating point plus the probe history."""
+
+    best: RateProbe
+    probes: tuple[RateProbe, ...]
+
+    @property
+    def probes_spent(self) -> int:
+        """How many trial transmissions the search used."""
+        return len(self.probes)
+
+
+#: A channel evaluation callback: bit window (us) -> channel result.
+ChannelProbe = Callable[[float], CovertChannelResult]
+
+
+def find_best_rate(
+    probe: ChannelProbe,
+    window_ladder: tuple[float, ...] = (150.0, 100.0, 65.0, 42.5, 30.0, 22.0),
+    stop_after_drops: int = 2,
+) -> AdaptiveResult:
+    """Walk *window_ladder* from slow to fast; stop when capacity sags.
+
+    The ladder is descended (raw rate ascends); once true capacity has
+    dropped for *stop_after_drops* consecutive rungs, the search stops —
+    the error knee has been passed.
+    """
+    if not window_ladder:
+        raise ValueError("the window ladder cannot be empty")
+    if stop_after_drops < 1:
+        raise ValueError("stop_after_drops must be at least 1")
+    history: list[RateProbe] = []
+    best: RateProbe | None = None
+    drops = 0
+    for window in window_ladder:
+        result = probe(window)
+        point = RateProbe(
+            bit_window_us=window,
+            true_bps=result.true_bps,
+            error_rate=result.error_rate,
+        )
+        history.append(point)
+        if best is None or point.true_bps > best.true_bps:
+            best = point
+            drops = 0
+        else:
+            drops += 1
+            if drops >= stop_after_drops:
+                break
+    assert best is not None
+    return AdaptiveResult(best=best, probes=tuple(history))

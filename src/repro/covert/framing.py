@@ -1,0 +1,163 @@
+"""Reliable message framing on top of the raw bit channels.
+
+The Fig. 9 channels move raw bits; a practical exfiltration tool needs to
+know *which* bits survived.  This module adds the classic fix: split the
+message into fixed-size frames, each carrying a 4-bit sequence number and
+a CRC-8, so the receiver can validate frames independently and report
+goodput (accepted payload bits per second) instead of raw capacity.
+
+This mirrors how covert-channel artifacts ship data in practice and makes
+the library usable end-to-end: ``send_message`` / ``decode_frames`` move
+real bytes across the VM boundary with integrity checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: CRC-8 (poly 0x07, init 0) over the header+payload bits.
+CRC_POLYNOMIAL = 0x07
+
+#: Payload bits per frame.
+FRAME_PAYLOAD_BITS = 32
+
+#: Header: 4-bit sequence number.
+FRAME_HEADER_BITS = 4
+
+#: Full frame: header + payload + CRC-8.
+FRAME_BITS = FRAME_HEADER_BITS + FRAME_PAYLOAD_BITS + 8
+
+
+def crc8(bits: np.ndarray) -> int:
+    """CRC-8 of a bit array (MSB-first)."""
+    register = 0
+    for bit in np.asarray(bits, dtype=np.int8):
+        register ^= int(bit) << 7
+        register <<= 1
+        if register & 0x100:
+            register ^= (CRC_POLYNOMIAL << 1) | 0x100
+        register &= 0xFF
+    return register
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """MSB-first bit expansion."""
+    if not data:
+        raise ValueError("cannot frame an empty message")
+    return np.unpackbits(np.frombuffer(data, dtype=np.uint8)).astype(np.int8)
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Inverse of :func:`bytes_to_bits` (trailing partial byte dropped)."""
+    usable = len(bits) - len(bits) % 8
+    if usable <= 0:
+        return b""
+    return np.packbits(np.asarray(bits[:usable], dtype=np.uint8)).tobytes()
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One framed payload chunk."""
+
+    sequence: int
+    payload: np.ndarray  # FRAME_PAYLOAD_BITS bits
+
+    def encode(self) -> np.ndarray:
+        """Header + payload + CRC as a bit array."""
+        header = np.array(
+            [(self.sequence >> shift) & 1 for shift in range(FRAME_HEADER_BITS - 1, -1, -1)],
+            dtype=np.int8,
+        )
+        body = np.concatenate([header, self.payload.astype(np.int8)])
+        crc = crc8(body)
+        crc_bits = np.array(
+            [(crc >> shift) & 1 for shift in range(7, -1, -1)], dtype=np.int8
+        )
+        return np.concatenate([body, crc_bits])
+
+    @classmethod
+    def decode(cls, bits: np.ndarray) -> "Frame | None":
+        """Parse one frame; ``None`` when the CRC rejects it."""
+        bits = np.asarray(bits, dtype=np.int8)
+        if bits.size != FRAME_BITS:
+            raise ValueError(f"a frame is {FRAME_BITS} bits, got {bits.size}")
+        body = bits[: FRAME_HEADER_BITS + FRAME_PAYLOAD_BITS]
+        crc_bits = bits[FRAME_HEADER_BITS + FRAME_PAYLOAD_BITS :]
+        crc = 0
+        for bit in crc_bits:
+            crc = (crc << 1) | int(bit)
+        if crc8(body) != crc:
+            return None
+        sequence = 0
+        for bit in body[:FRAME_HEADER_BITS]:
+            sequence = (sequence << 1) | int(bit)
+        return cls(sequence=sequence, payload=body[FRAME_HEADER_BITS:].copy())
+
+
+def frame_message(data: bytes) -> np.ndarray:
+    """Frame *data* into a transmit-ready bit stream."""
+    bits = bytes_to_bits(data)
+    pad = (-len(bits)) % FRAME_PAYLOAD_BITS
+    bits = np.concatenate([bits, np.zeros(pad, dtype=np.int8)])
+    frames = []
+    for index in range(0, len(bits), FRAME_PAYLOAD_BITS):
+        frames.append(
+            Frame(
+                sequence=(index // FRAME_PAYLOAD_BITS) & 0xF,
+                payload=bits[index : index + FRAME_PAYLOAD_BITS],
+            ).encode()
+        )
+    return np.concatenate(frames)
+
+
+@dataclass(frozen=True)
+class DecodeReport:
+    """Outcome of decoding a received bit stream."""
+
+    data: bytes
+    frames_total: int
+    frames_accepted: int
+    frames_rejected: int
+
+    @property
+    def frame_acceptance_rate(self) -> float:
+        """Fraction of frames whose CRC validated."""
+        return self.frames_accepted / self.frames_total if self.frames_total else 0.0
+
+
+def decode_frames(bits: np.ndarray) -> DecodeReport:
+    """Decode a received stream back into bytes.
+
+    Rejected frames are replaced with zero bits (their positions are known
+    from the surviving sequence numbers), so the output length is stable.
+    """
+    bits = np.asarray(bits, dtype=np.int8)
+    total = len(bits) // FRAME_BITS
+    accepted = 0
+    payload_chunks = []
+    for index in range(total):
+        frame = Frame.decode(bits[index * FRAME_BITS : (index + 1) * FRAME_BITS])
+        if frame is not None and frame.sequence == index & 0xF:
+            payload_chunks.append(frame.payload)
+            accepted += 1
+        else:
+            payload_chunks.append(np.zeros(FRAME_PAYLOAD_BITS, dtype=np.int8))
+    payload = (
+        np.concatenate(payload_chunks) if payload_chunks else np.zeros(0, dtype=np.int8)
+    )
+    return DecodeReport(
+        data=bits_to_bytes(payload),
+        frames_total=total,
+        frames_accepted=accepted,
+        frames_rejected=total - accepted,
+    )
+
+
+def goodput_bps(report: DecodeReport, raw_bps: float) -> float:
+    """Accepted payload bits per second given the channel's raw rate."""
+    if raw_bps < 0:
+        raise ValueError("raw_bps must be non-negative")
+    efficiency = FRAME_PAYLOAD_BITS / FRAME_BITS
+    return raw_bps * efficiency * report.frame_acceptance_rate

@@ -1,0 +1,56 @@
+"""Covert-channel quality metrics.
+
+The paper reports **raw capacity** (signalled bits per second), the **bit
+error rate**, and the **true capacity** — the Shannon capacity of the
+equivalent binary symmetric channel,
+``C = raw * (1 - H2(p))`` with ``H2`` the binary entropy of the error
+probability.  Fig. 9 plots true capacity and error rate against a raw
+capacity sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def binary_entropy(p: float) -> float:
+    """``H2(p)`` in bits; 0 at p in {0, 1}, 1 at p = 0.5."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {p}")
+    if p in (0.0, 1.0):
+        return 0.0
+    return float(-p * np.log2(p) - (1 - p) * np.log2(1 - p))
+
+
+def bit_error_rate(sent: np.ndarray, received: np.ndarray) -> float:
+    """Fraction of differing bits (arrays must be equal length)."""
+    sent = np.asarray(sent, dtype=np.int8)
+    received = np.asarray(received, dtype=np.int8)
+    if sent.shape != received.shape:
+        raise ValueError(
+            f"bit arrays differ in shape: {sent.shape} vs {received.shape}"
+        )
+    if sent.size == 0:
+        raise ValueError("cannot compute BER of zero bits")
+    return float((sent != received).mean())
+
+
+def true_capacity(raw_bps: float, error_rate: float) -> float:
+    """Shannon capacity of the binary symmetric channel in bits/second.
+
+    An error rate above 0.5 is clamped (the receiver would invert), which
+    keeps the metric monotone in channel quality.
+    """
+    if raw_bps < 0:
+        raise ValueError("raw capacity must be non-negative")
+    p = min(max(error_rate, 0.0), 1.0)
+    if p > 0.5:
+        p = 1.0 - p
+    return raw_bps * (1.0 - binary_entropy(p))
+
+
+def random_bits(rng: np.random.Generator, count: int) -> np.ndarray:
+    """A random payload (the evaluation transmits random bits)."""
+    if count < 1:
+        raise ValueError("payload must contain at least one bit")
+    return rng.integers(0, 2, size=count).astype(np.int8)

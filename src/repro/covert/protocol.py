@@ -1,0 +1,145 @@
+"""The time-slicing transmission protocol.
+
+The sender has no backchannel, so both sides agree offline on the bit
+window and the preamble length.  The sender transmits a preamble of
+consecutive '1' bits; the receiver scans for it, aligns its window
+boundaries to the observed edge, and then samples one bit per window.
+
+The sender's submissions carry *scheduling jitter*: the sending VM has no
+cycle-accurate timer lock with the receiver, so each bit lands around its
+window center with a Gaussian error (``sender_jitter_us``).  This is the
+dominant error source — a bit that slips across a boundary is missed in
+its own window and pollutes a neighbor, exactly the failure mode that
+makes the paper's error rate climb with raw capacity (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsa.descriptor import Descriptor
+from repro.dsa.opcodes import DescriptorFlags, Opcode
+from repro.hw.units import us_to_cycles
+from repro.virt.process import GuestProcess
+from repro.virt.scheduler import Timeline
+
+
+@dataclass(frozen=True)
+class CovertConfig:
+    """Channel parameters shared by sender and receiver."""
+
+    bit_window_us: float = 42.5
+    preamble_ones: int = 12
+    sender_jitter_us: float = 11.0
+    #: Leading preamble bits sent as multi-pulse bursts (used by the SWQ
+    #: channel for origin detection; 0 = all preamble bits are singles).
+    preamble_burst_bits: int = 0
+    #: Timing jitter of the preamble bits.  The sender can afford to
+    #: spin-wait for the short preamble (tight timing) even though its
+    #: payload pacing drifts; a loose preamble would poison the
+    #: receiver's window-origin lock far beyond its own duration.
+    preamble_jitter_us: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.bit_window_us <= 0:
+            raise ValueError("bit_window_us must be positive")
+        if self.preamble_ones < 1:
+            raise ValueError("the preamble needs at least one bit")
+        if self.sender_jitter_us < 0:
+            raise ValueError("sender_jitter_us cannot be negative")
+
+    @property
+    def raw_bps(self) -> float:
+        """Raw signalling rate implied by the bit window."""
+        return 1_000_000.0 / self.bit_window_us
+
+
+class CovertSender:
+    """The sending side (runs in the victim/sender VM).
+
+    Encoding: bit 1 = submit one cheap descriptor near the window center;
+    bit 0 = stay idle.  For the DevTLB channel the submission is a noop
+    with a completion record (its ``comp`` write evicts the receiver's
+    sub-entry); for the SWQ channel a record-less noop suffices (it only
+    needs to consume the armed queue slot).
+    """
+
+    def __init__(
+        self,
+        process: GuestProcess,
+        wq_id: int,
+        config: CovertConfig,
+        rng: np.random.Generator,
+        evict_devtlb: bool = True,
+    ) -> None:
+        self.process = process
+        self.portal = process.portal(wq_id)
+        self.config = config
+        self.rng = rng
+        self._comp = process.comp_record()
+        self._evict_devtlb = evict_devtlb
+        self.bits_scheduled = 0
+
+    def _descriptor(self) -> Descriptor:
+        if self._evict_devtlb:
+            return Descriptor(
+                opcode=Opcode.NOOP,
+                pasid=self.process.pasid,
+                completion_addr=self._comp,
+            )
+        return Descriptor(
+            opcode=Opcode.NOOP, pasid=self.process.pasid, flags=DescriptorFlags.NONE
+        )
+
+    def schedule_message(
+        self,
+        timeline: Timeline,
+        payload: np.ndarray,
+        start_time: int,
+        preamble_pulses: int = 1,
+    ) -> np.ndarray:
+        """Schedule preamble + *payload* onto *timeline*.
+
+        Bit ``i`` is centered at ``start_time + (i + 0.5) * window`` plus
+        jitter.  *preamble_pulses* > 1 spreads that many submissions
+        across each preamble window (the SWQ receiver's sensing has
+        blind spots, so single preamble pulses could be missed and slip
+        the receiver's window origin).  Payload bits are always single
+        submissions.  Returns the full bit sequence (preamble + payload).
+        """
+        window = us_to_cycles(self.config.bit_window_us)
+        bits = np.concatenate(
+            [np.ones(self.config.preamble_ones, dtype=np.int8), payload.astype(np.int8)]
+        )
+        descriptor = self._descriptor()
+        portal = self.portal
+        burst_bits = min(self.config.preamble_burst_bits, self.config.preamble_ones)
+        for index, bit in enumerate(bits):
+            if not bit:
+                continue
+            jitter_us = (
+                self.config.preamble_jitter_us
+                if index < self.config.preamble_ones
+                else self.config.sender_jitter_us
+            )
+            jitter = self.rng.normal(0.0, us_to_cycles(jitter_us))
+            if index < burst_bits and preamble_pulses > 1:
+                # Compress the burst into the window's first ~0.6: the
+                # receiver localizes its window origin from the first
+                # caught pulse, and a tight spread bounds that error
+                # inside the half-window ambiguity basin.
+                offsets = [
+                    0.7 * (p + 1) / (preamble_pulses + 1)
+                    for p in range(preamble_pulses)
+                ]
+            else:
+                offsets = [0.5]
+            for offset in offsets:
+                when = start_time + int((index + offset) * window + jitter)
+                timeline.schedule_at(
+                    max(when, start_time), lambda: portal.enqcmd(descriptor)
+                )
+            self.bits_scheduled += 1
+        return bits

@@ -1,0 +1,87 @@
+"""Completion records.
+
+The engine notifies software by writing a 32-byte completion record at the
+descriptor's completion-record address; software polls the status byte
+(Listing 1: ``while comp.status == 0``).  The record is real memory in the
+submitter's address space, so cross-page and DevTLB effects of the write
+are modeled like any other store.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+#: Serialized completion record size.
+COMPLETION_RECORD_SIZE = 32
+
+_PACK = struct.Struct("<B B H I Q Q Q")
+
+
+class CompletionStatus(enum.IntEnum):
+    """Status byte values (0 means "not yet written")."""
+
+    PENDING = 0x00
+    SUCCESS = 0x01
+    PAGE_FAULT = 0x03
+    BATCH_FAIL = 0x05
+    ABORT = 0x09
+    INVALID_DESCRIPTOR = 0x10
+
+
+@dataclass(frozen=True)
+class CompletionRecord:
+    """The decoded completion record.
+
+    Attributes
+    ----------
+    status:
+        Terminal status of the descriptor.
+    result:
+        Operation result — 0/1 for compares (difference found), the CRC
+        value for CRC generation, descriptors-completed for batches.
+    bytes_completed:
+        Bytes processed before a fault (equals the transfer size on
+        success).
+    fault_address:
+        Faulting virtual address when ``status`` is ``PAGE_FAULT``.
+    """
+
+    status: CompletionStatus
+    result: int = 0
+    bytes_completed: int = 0
+    fault_address: int = 0
+
+    def encode(self) -> bytes:
+        """Serialize to the 32-byte wire format."""
+        return _PACK.pack(
+            int(self.status),
+            0,
+            0,
+            self.bytes_completed & 0xFFFF_FFFF,
+            self.fault_address,
+            self.result & 0xFFFF_FFFF_FFFF_FFFF,
+            0,
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "CompletionRecord":
+        """Parse the 32-byte wire format."""
+        if len(raw) != COMPLETION_RECORD_SIZE:
+            raise ValueError(
+                f"completion record must be {COMPLETION_RECORD_SIZE} bytes, "
+                f"got {len(raw)}"
+            )
+        status, _r0, _r1, bytes_completed, fault, result, _r2 = _PACK.unpack(raw)
+        return cls(
+            status=CompletionStatus(status),
+            result=result,
+            bytes_completed=bytes_completed,
+            fault_address=fault,
+        )
+
+    @property
+    def is_pending(self) -> bool:
+        """True while the engine has not written the record."""
+        return self.status is CompletionStatus.PENDING

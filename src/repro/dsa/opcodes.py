@@ -1,0 +1,96 @@
+"""DSA operation codes and descriptor flags.
+
+Encodings follow the Intel DSA Architecture Specification's descriptor
+opcode assignments; the subset modeled here covers everything the paper
+uses (noop, memcmp/compval, memcpy/memmove, dualcast, batch) plus the
+other data-mover operations DSA advertises (fill, compare, CRC, delta
+record generation and merging) so the library is usable as a general DSA
+model.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Opcode(enum.IntEnum):
+    """Work-descriptor operation codes."""
+
+    NOOP = 0x00
+    BATCH = 0x01
+    DRAIN = 0x02
+    MEMMOVE = 0x03
+    FILL = 0x04
+    COMPARE = 0x05
+    COMPVAL = 0x06
+    CREATE_DELTA = 0x07
+    APPLY_DELTA = 0x08
+    DUALCAST = 0x09
+    CRCGEN = 0x10
+    COPY_CRC = 0x11
+    DIF_CHECK = 0x12
+    DIF_INSERT = 0x13
+    DIF_STRIP = 0x14
+
+
+class DescriptorFlags(enum.IntFlag):
+    """Descriptor flag bits (the subset the model honors)."""
+
+    NONE = 0
+    #: Fence: do not start until prior descriptors in the batch complete.
+    FENCE = 0x0001
+    #: Block on fault instead of completing with a partial transfer.
+    BLOCK_ON_FAULT = 0x0002
+    #: The completion-record address field is valid.
+    COMPLETION_ADDR_VALID = 0x0004
+    #: Write a completion record when done.
+    REQUEST_COMPLETION_RECORD = 0x0008
+    #: Raise a completion interrupt (modeled as a flag only).
+    REQUEST_COMPLETION_INTERRUPT = 0x0010
+    #: Destination writes should bypass (not allocate) the CPU cache.
+    CACHE_CONTROL = 0x0020
+
+
+#: Flags every polled submission in the paper's listings sets.
+STANDARD_COMPLETION_FLAGS = (
+    DescriptorFlags.COMPLETION_ADDR_VALID | DescriptorFlags.REQUEST_COMPLETION_RECORD
+)
+
+#: Opcodes that read from ``src``.
+READS_SRC = frozenset(
+    {
+        Opcode.MEMMOVE,
+        Opcode.COMPARE,
+        Opcode.COMPVAL,
+        Opcode.CREATE_DELTA,
+        Opcode.APPLY_DELTA,
+        Opcode.DUALCAST,
+        Opcode.CRCGEN,
+        Opcode.COPY_CRC,
+        Opcode.DIF_CHECK,
+        Opcode.DIF_INSERT,
+        Opcode.DIF_STRIP,
+    }
+)
+
+#: Opcodes whose byte-24 field is a second source (``src2``); for all
+#: other data opcodes that field is the destination (``dst``) — the
+#: overlap the paper exploits in Listing 4.
+USES_SRC2 = frozenset({Opcode.COMPARE, Opcode.COMPVAL, Opcode.CREATE_DELTA})
+
+#: Opcodes that write to ``dst``.
+WRITES_DST = frozenset(
+    {
+        Opcode.MEMMOVE,
+        Opcode.FILL,
+        Opcode.APPLY_DELTA,
+        Opcode.DUALCAST,
+        Opcode.COPY_CRC,
+        Opcode.DIF_INSERT,
+        Opcode.DIF_STRIP,
+    }
+)
+
+#: CREATE_DELTA writes its delta record through the descriptor's
+#: ``delta record address``, modeled as the dst2 slot.
+WRITES_DST2 = frozenset({Opcode.DUALCAST, Opcode.CREATE_DELTA})

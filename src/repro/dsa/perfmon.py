@@ -1,0 +1,90 @@
+"""The DSA Perfmon block (Table I of the paper).
+
+Perfmon is the device-level performance-counter unit the paper uses for
+reverse engineering.  It is reachable only through the kernel ``perf``
+interface, i.e. **root-only** — which is why the attacks themselves never
+touch it and rely on ``rdtsc`` and ``EFLAGS.ZF`` instead.  The model
+enforces that boundary with an explicit privilege check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ats.devtlb import DevTlbStats
+from repro.dsa.device import DsaDevice
+from repro.errors import ConfigurationError, PermissionDeniedError
+
+
+@dataclass(frozen=True)
+class PerfmonEvent:
+    """One countable event."""
+
+    name: str
+    category: int
+    code: int
+    description: str
+
+
+#: Table I — the DevTLB events.
+EV_ATC_ALLOC = PerfmonEvent("EV_ATC_ALLOC", 0x2, 0x40, "# requests to DevTLB")
+EV_ATC_NO_ALLOC = PerfmonEvent("EV_ATC_NO_ALLOC", 0x2, 0x80, "# not allocated entry")
+EV_ATC_HIT_PREV = PerfmonEvent("EV_ATC_HIT_PREV", 0x2, 0x100, "# hit of entry")
+
+EVENTS: dict[str, PerfmonEvent] = {
+    event.name: event for event in (EV_ATC_ALLOC, EV_ATC_NO_ALLOC, EV_ATC_HIT_PREV)
+}
+
+
+class Perfmon:
+    """Privileged access to the device counter block.
+
+    Parameters
+    ----------
+    device:
+        The DSA to monitor.
+    privileged:
+        Whether the opener holds root; unprivileged reads raise
+        :class:`~repro.errors.PermissionDeniedError`.
+    """
+
+    def __init__(self, device: DsaDevice, privileged: bool = False) -> None:
+        self.device = device
+        self.privileged = privileged
+
+    def _check(self) -> None:
+        if not self.privileged:
+            raise PermissionDeniedError(
+                "Perfmon is exposed via the kernel perf interface and "
+                "requires a privileged user"
+            )
+
+    def read(self, event: str | PerfmonEvent, engine_id: int | None = None) -> int:
+        """Read one counter, device-wide or for a single engine."""
+        self._check()
+        name = event.name if isinstance(event, PerfmonEvent) else event
+        if name not in EVENTS:
+            raise ConfigurationError(f"unknown Perfmon event {name!r}")
+        stats = self._stats(engine_id)
+        if name == "EV_ATC_ALLOC":
+            return stats.alloc_requests
+        if name == "EV_ATC_NO_ALLOC":
+            return stats.no_alloc
+        return stats.hits
+
+    def snapshot(self, engine_id: int | None = None) -> dict[str, int]:
+        """Read all events at once."""
+        self._check()
+        stats = self._stats(engine_id)
+        return {
+            "EV_ATC_ALLOC": stats.alloc_requests,
+            "EV_ATC_NO_ALLOC": stats.no_alloc,
+            "EV_ATC_HIT_PREV": stats.hits,
+        }
+
+    def _stats(self, engine_id: int | None) -> DevTlbStats:
+        if engine_id is None:
+            return self.device.devtlb.stats
+        if engine_id not in self.device.engines:
+            raise ConfigurationError(f"engine {engine_id} does not exist")
+        return self.device.devtlb.engine_stats(engine_id)

@@ -1,0 +1,206 @@
+"""MMIO portals: ``enqcmd`` (DMWr) and ``movdir64b`` submission.
+
+The portal is the software-visible submission interface.  For shared work
+queues, ``enqcmd`` issues a **Deferrable Memory Write**: a non-posted MMIO
+write whose completion carries the device's accept/retry answer, which the
+CPU exposes in ``EFLAGS.ZF`` (Section IV-C).  Two properties matter for
+the attacks:
+
+* submission latency is ~700 cycles and **does not depend on queue
+  state** — retry and accept cost the same, so timing leaks nothing
+  (Fig. 6, Takeaway 3);
+* the ZF answer itself leaks the queue-full condition to any unprivileged
+  submitter, which is the entire ``DSA_SWQ`` side channel.
+
+The PASID travels with the submission (from the process context that
+mapped the portal), so a submitter can never impersonate another process —
+the leak is the *accept/retry* bit, not the payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.dsa.descriptor import BatchDescriptor, Descriptor
+from repro.dsa.device import DsaDevice, SubmissionTicket
+from repro.dsa.wq import WqMode
+from repro.errors import ConfigurationError, QueueFullError
+from repro.hw.pcie import TransactionKind
+
+#: Core-side cost of the enqcmd instruction path, excluding the DMWr
+#: round trip (which the PCIe link charges).  Total lands near the
+#: paper's ~700-cycle constant submission latency.
+ENQCMD_SW_CYCLES = 510
+
+#: movdir64b is a posted write: cheaper, no answer.
+MOVDIR_SW_CYCLES = 160
+
+#: Privileged-DMWr mitigation: the constant submission slot unprivileged
+#: enqcmd is padded to, and the internal hardware retry budget inside it.
+HIDDEN_DMWR_SLOT_CYCLES = 3600
+HIDDEN_DMWR_RETRIES = 4
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of a polled submission (Listing 1 semantics)."""
+
+    ticket: SubmissionTicket
+    latency_cycles: int
+
+    @property
+    def record(self):
+        """The completion record (written by the time the poll returned)."""
+        return self.ticket.record
+
+
+class Portal:
+    """One process's mapping of a work-queue portal page.
+
+    Parameters
+    ----------
+    device:
+        The DSA.
+    wq_id:
+        The portal's work queue.
+    pasid:
+        The opener's PASID — stamped into every submission, as ``enqcmd``
+        does from the IA32_PASID MSR.
+    """
+
+    def __init__(
+        self, device: DsaDevice, wq_id: int, pasid: int, privileged: bool = False
+    ) -> None:
+        self.device = device
+        self.wq_id = wq_id
+        self.pasid = pasid
+        self.privileged = privileged
+        self.clock = device.clock
+        self.last_ticket: SubmissionTicket | None = None
+        self.hidden_dmwr_drops = 0
+
+    # ------------------------------------------------------------------
+    # Raw submission instructions
+    # ------------------------------------------------------------------
+    def enqcmd(self, descriptor: Descriptor | BatchDescriptor) -> bool:
+        """Submit via DMWr; return the ``EFLAGS.ZF`` value.
+
+        ``True`` (ZF set) means *retry*: the queue was full and nothing
+        was enqueued.  Latency is charged identically either way.
+        """
+        wq = self.device.wq(self.wq_id)
+        if wq.config.mode is not WqMode.SHARED:
+            raise ConfigurationError(
+                f"enqcmd targets shared queues; WQ {self.wq_id} is dedicated"
+            )
+        descriptor = self._stamp_pasid(descriptor)
+        if self.device.config.dmwr_privileged and not self.privileged:
+            return self._enqcmd_hidden(descriptor)
+        cycles = ENQCMD_SW_CYCLES + self.device.link.transaction_cycles(
+            TransactionKind.DMWR
+        )
+        self.clock.advance(cycles)
+        zf, ticket = self.device.submit(self.wq_id, descriptor, self.clock.now)
+        self.last_ticket = ticket
+        return zf
+
+    def _enqcmd_hidden(self, descriptor: Descriptor | BatchDescriptor) -> bool:
+        """The privileged-DMWr mitigation path (Section VII).
+
+        The hardware retries internally inside a fixed time slot and the
+        architectural ZF always reads 0, so queue state never reaches an
+        unprivileged submitter.  A submission that still cannot be placed
+        is dropped silently (software notices via the missing completion
+        record), which is the mitigation's compatibility cost.
+        """
+        slot_cycles = HIDDEN_DMWR_SLOT_CYCLES
+        start = self.clock.now
+        accepted = False
+        for _ in range(HIDDEN_DMWR_RETRIES):
+            cycles = ENQCMD_SW_CYCLES + self.device.link.transaction_cycles(
+                TransactionKind.DMWR
+            )
+            self.clock.advance(cycles)
+            zf, ticket = self.device.submit(self.wq_id, descriptor, self.clock.now)
+            if not zf:
+                self.last_ticket = ticket
+                accepted = True
+                break
+        if not accepted:
+            self.hidden_dmwr_drops += 1
+            self.last_ticket = None
+        # Pad to the constant slot so the retry count leaks no timing.
+        self.clock.advance_to(start + slot_cycles)
+        self.device.advance_to(self.clock.now)
+        return False
+
+    def movdir64b(self, descriptor: Descriptor | BatchDescriptor) -> None:
+        """Submit via a posted 64-byte write (dedicated queues only).
+
+        Real hardware gives no feedback; software tracks occupancy.  A
+        full queue therefore raises :class:`QueueFullError` to flag the
+        software bug the model cannot otherwise express.
+        """
+        wq = self.device.wq(self.wq_id)
+        if wq.config.mode is not WqMode.DEDICATED:
+            raise ConfigurationError(
+                f"movdir64b targets dedicated queues; WQ {self.wq_id} is shared"
+            )
+        descriptor = self._stamp_pasid(descriptor)
+        cycles = MOVDIR_SW_CYCLES + self.device.link.transaction_cycles(
+            TransactionKind.POSTED_WRITE
+        )
+        self.clock.advance(cycles)
+        zf, ticket = self.device.submit(self.wq_id, descriptor, self.clock.now)
+        if zf:
+            raise QueueFullError(
+                f"movdir64b to full dedicated WQ {self.wq_id} (undefined on "
+                f"real hardware)"
+            )
+        self.last_ticket = ticket
+
+    # ------------------------------------------------------------------
+    # Convenience paths
+    # ------------------------------------------------------------------
+    def submit(self, descriptor: Descriptor | BatchDescriptor) -> SubmissionTicket:
+        """Submit through the queue's native instruction; raise when full."""
+        wq = self.device.wq(self.wq_id)
+        if wq.config.mode is WqMode.DEDICATED:
+            self.movdir64b(descriptor)
+        else:
+            if self.enqcmd(descriptor):
+                raise QueueFullError(f"WQ {self.wq_id} is full")
+        assert self.last_ticket is not None
+        return self.last_ticket
+
+    def submit_wait(
+        self, descriptor: Descriptor | BatchDescriptor, spin_cycles: int = 200
+    ) -> ProbeResult:
+        """Submit and poll the completion record (Listing 1).
+
+        Returns the completion and the *polled latency*: the cycles from
+        just after submission to the poll observing a non-zero status —
+        the quantity every timing attack in the paper thresholds.
+        """
+        ticket = self.submit(descriptor)
+        start = self.clock.rdtsc()
+        self.wait(ticket, spin_cycles=spin_cycles)
+        end = self.clock.rdtsc()
+        return ProbeResult(ticket=ticket, latency_cycles=end - start)
+
+    def wait(self, ticket: SubmissionTicket, spin_cycles: int = 200) -> None:
+        """Poll until *ticket* completes (advances the shared clock)."""
+        device = self.device
+        while ticket.completion_time is None:
+            self.clock.advance(spin_cycles)
+            device.advance_to(self.clock.now)
+        detect = device.config.timing.poll_detect_cycles
+        self.clock.advance_to(ticket.completion_time + detect)
+        device.advance_to(self.clock.now)
+
+    def _stamp_pasid(
+        self, descriptor: Descriptor | BatchDescriptor
+    ) -> Descriptor | BatchDescriptor:
+        if descriptor.pasid == self.pasid:
+            return descriptor
+        return replace(descriptor, pasid=self.pasid)

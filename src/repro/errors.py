@@ -1,0 +1,56 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+Each subpackage defines its own specific errors derived from
+:class:`ReproError` so callers can either catch narrowly (e.g.
+``TranslationFault``) or broadly (``ReproError``).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with inconsistent or invalid parameters."""
+
+
+class PermissionDeniedError(ReproError):
+    """An unprivileged actor attempted a root-only operation.
+
+    The paper's threat model (Section V-A) assumes an *unprivileged*
+    adversary: configuring engines/queues and reading Perfmon require root,
+    while submitting descriptors and reading ``wq_size`` do not.  This error
+    is how the model enforces that boundary.
+    """
+
+
+class TranslationFault(ReproError):
+    """An address could not be translated by a page table or the IOMMU."""
+
+    def __init__(self, address: int, message: str = "") -> None:
+        detail = message or f"no translation for address {address:#x}"
+        super().__init__(detail)
+        self.address = address
+
+
+class OutOfMemoryError(ReproError):
+    """The physical frame allocator ran out of frames."""
+
+
+class InvalidDescriptorError(ReproError):
+    """A DSA descriptor failed validation at submission or decode time."""
+
+
+class QueueConfigurationError(ConfigurationError):
+    """Work-queue configuration registers are inconsistent."""
+
+
+class QueueFullError(ReproError):
+    """A submission was refused because the work queue is full.
+
+    For ``enqcmd`` this surfaces as ``EFLAGS.ZF = 1`` rather than an
+    exception; the exception form exists for the convenience submit path
+    and for ``movdir64b`` to a full dedicated queue (whose behavior real
+    hardware leaves undefined)."""

@@ -1,0 +1,84 @@
+"""Command-line experiment runner.
+
+Regenerate any paper artifact from a shell::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig04
+    python -m repro.experiments table4
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    fig04_latency,
+    fig06_queue_latency,
+    fig09_covert,
+    fig10_wf_traces,
+    fig11_wf_classification,
+    fig12_keystrokes,
+    fig13_llm,
+    fig14_mitigation,
+    iotlb_study,
+    openworld_wf,
+    reverse_engineering,
+    table3_noise,
+    table4_comparison,
+)
+
+#: name -> (module, human description)
+EXPERIMENTS = {
+    "re": (reverse_engineering, "Section IV reverse-engineering suite"),
+    "fig04": (fig04_latency, "Fig. 4 hit/miss latency distributions"),
+    "fig06": (fig06_queue_latency, "Fig. 6 submission/completion latency"),
+    "fig09": (fig09_covert, "Fig. 9 covert-channel capacity sweep"),
+    "fig10": (fig10_wf_traces, "Fig. 10 website miss traces"),
+    "fig11": (fig11_wf_classification, "Fig. 11 website classification"),
+    "fig12": (fig12_keystrokes, "Fig. 12 SSH keystroke detection"),
+    "fig13": (fig13_llm, "Fig. 13 LLM fingerprinting"),
+    "fig14": (fig14_mitigation, "Fig. 14 mitigation overhead"),
+    "table3": (table3_noise, "Table III noise impact"),
+    "table4": (table4_comparison, "Table IV prior-work comparison"),
+    "iotlb": (iotlb_study, "IOTLB capacity study (extension)"),
+    "openworld": (openworld_wf, "open-world website fingerprinting (extension)"),
+}
+
+
+def run_one(name: str) -> None:
+    """Run one experiment and print its report."""
+    module, description = EXPERIMENTS[name]
+    print(f"=== {name}: {description} ===")
+    started = time.time()
+    result = module.run()
+    print(module.report(result))
+    print(f"({time.time() - started:.1f}s)\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "list", "all"],
+        help="which artifact to regenerate",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "list":
+        for name, (_, description) in EXPERIMENTS.items():
+            print(f"{name:8s} {description}")
+        return 0
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        run_one(name)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

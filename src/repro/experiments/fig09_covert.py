@@ -1,0 +1,146 @@
+"""Fig. 9 — covert-channel raw capacity sweep.
+
+For each primitive, sweeps the bit window (i.e. the raw signalling rate)
+and reports raw capacity, bit error rate, and true capacity.  The paper's
+headline points: the DevTLB channel peaks at 17.19 kbps true capacity
+with 4.63 % error; the SWQ channel reaches 4.02 kbps at 13.11 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.covert.channel import (
+    run_devtlb_covert_channel,
+    run_swq_covert_channel,
+)
+from repro.covert.protocol import CovertConfig
+
+#: Bit windows swept for the DevTLB channel (us).
+DEVTLB_WINDOWS_US = (150.0, 100.0, 60.0, 42.5, 32.0, 25.0)
+
+#: Bit windows swept for the SWQ channel (us).
+SWQ_WINDOWS_US = (260.0, 180.0, 110.0, 80.0)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (primitive, rate) measurement."""
+
+    primitive: str
+    bit_window_us: float
+    raw_bps: float
+    error_rate: float
+    true_bps: float
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """Both sweeps."""
+
+    points: tuple[SweepPoint, ...]
+
+    def best(self, primitive: str) -> SweepPoint:
+        """Highest true capacity for one primitive."""
+        candidates = [p for p in self.points if p.primitive == primitive]
+        if not candidates:
+            raise KeyError(primitive)
+        return max(candidates, key=lambda p: p.true_bps)
+
+    @property
+    def error_grows_with_rate(self) -> bool:
+        """Within each primitive, the fastest window has more error than
+        the slowest (the Fig. 9 trade-off)."""
+        for primitive in {p.primitive for p in self.points}:
+            series = sorted(
+                (p for p in self.points if p.primitive == primitive),
+                key=lambda p: p.raw_bps,
+            )
+            if series[-1].error_rate <= series[0].error_rate:
+                return False
+        return True
+
+
+def _average_runs(run_fn, windows, runs, payload_bits, seed, **config_kwargs):
+    points = []
+    for window in windows:
+        errors = []
+        trues = []
+        raw = None
+        for run_index in range(runs):
+            config = CovertConfig(bit_window_us=window, **config_kwargs)
+            result = run_fn(
+                payload_bits=payload_bits, seed=seed + run_index, config=config
+            )
+            errors.append(result.error_rate)
+            trues.append(result.true_bps)
+            raw = result.raw_bps
+        points.append((window, raw, float(np.mean(errors)), float(np.mean(trues))))
+    return points
+
+
+def run(
+    payload_bits: int = 192,
+    runs: int = 3,
+    seed: int = 2026,
+    devtlb_windows: tuple[float, ...] = DEVTLB_WINDOWS_US,
+    swq_windows: tuple[float, ...] = SWQ_WINDOWS_US,
+) -> Fig9Result:
+    """Run both sweeps."""
+    points: list[SweepPoint] = []
+    for window, raw, error, true in _average_runs(
+        run_devtlb_covert_channel, devtlb_windows, runs, payload_bits, seed
+    ):
+        points.append(
+            SweepPoint(
+                primitive="devtlb", bit_window_us=window, raw_bps=raw,
+                error_rate=error, true_bps=true,
+            )
+        )
+    for window, raw, error, true in _average_runs(
+        run_swq_covert_channel,
+        swq_windows,
+        runs,
+        min(payload_bits, 128),
+        seed,
+        sender_jitter_us=27.5,
+        preamble_ones=16,
+        preamble_burst_bits=4,
+    ):
+        points.append(
+            SweepPoint(
+                primitive="swq", bit_window_us=window, raw_bps=raw,
+                error_rate=error, true_bps=true,
+            )
+        )
+    return Fig9Result(points=tuple(points))
+
+
+def report(result: Fig9Result) -> str:
+    """The figure as a table plus headline points."""
+    rows = [
+        [
+            p.primitive,
+            f"{p.bit_window_us:.1f}",
+            f"{p.raw_bps / 1e3:.2f}",
+            f"{p.error_rate * 100:.2f}%",
+            f"{p.true_bps / 1e3:.2f}",
+        ]
+        for p in result.points
+    ]
+    table = format_table(
+        ["primitive", "window (us)", "raw (kbps)", "BER", "true (kbps)"], rows
+    )
+    devtlb = result.best("devtlb")
+    swq = result.best("swq")
+    return (
+        "Fig. 9 — covert-channel capacity sweep\n"
+        + table
+        + f"\nDevTLB peak: {devtlb.true_bps / 1e3:.2f} kbps @ "
+        f"{devtlb.error_rate * 100:.2f}% (paper: 17.19 kbps @ 4.63%)"
+        + f"\nSWQ peak:    {swq.true_bps / 1e3:.2f} kbps @ "
+        f"{swq.error_rate * 100:.2f}% (paper: 4.02 kbps @ 13.11%)"
+    )

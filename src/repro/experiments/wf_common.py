@@ -1,0 +1,98 @@
+"""Shared trace-collection pipeline for the fingerprinting attacks.
+
+One trace = one fresh two-VM system: the victim VM replays a workload
+(website visit / SSH session / LLM inference) through its DSA-accelerated
+path while the attacker VM runs the ``DSA_DevTLB`` sampler on the shared
+engine.  Everything interleaves on the shared timeline, so the traces are
+measured, not synthesized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.devtlb_attack import DsaDevTlbAttack
+from repro.core.sampling import DevTlbSampler, SamplerConfig
+from repro.hw.noise import Environment
+from repro.virt.system import AttackTopology, CloudSystem
+from repro.workloads.vpp import VppVictim
+from repro.workloads.websites import WebsiteProfile
+
+
+@dataclass(frozen=True)
+class WfSamplerSettings:
+    """Trace geometry for website fingerprinting.
+
+    The paper samples every 10 us and aggregates 400 samples per slot
+    (4 ms slots, 250 slots = 1 s).  The reproduction's default keeps the
+    same slot duration and trace length but samples every 50 us (80 per
+    slot), which cuts simulation cost 5x without changing the slot-count
+    feature the classifier consumes.  Pass ``paper_scale=True`` helpers
+    where the full geometry is wanted.
+    """
+
+    sample_period_us: float = 50.0
+    samples_per_slot: int = 80
+    slots: int = 250
+
+    def sampler_config(self) -> SamplerConfig:
+        """As a :class:`SamplerConfig`."""
+        return SamplerConfig(
+            sample_period_us=self.sample_period_us,
+            samples_per_slot=self.samples_per_slot,
+            slots=self.slots,
+        )
+
+
+PAPER_SCALE = WfSamplerSettings(sample_period_us=10.0, samples_per_slot=400, slots=250)
+
+
+def collect_website_trace(
+    profile: WebsiteProfile,
+    seed: int,
+    settings: WfSamplerSettings | None = None,
+    calibration_samples: int = 30,
+    environment: Environment = Environment.LOCAL,
+) -> np.ndarray:
+    """Collect one DevTLB miss-count trace of one website visit."""
+    settings = settings or WfSamplerSettings()
+    system = CloudSystem(seed=seed, environment=environment)
+    handles = system.setup_topology(AttackTopology.E1_SEPARATE_WQ_SHARED_ENGINE)
+
+    attack = DsaDevTlbAttack(handles.attacker, wq_id=handles.attacker_wq)
+    attack.calibrate(samples=calibration_samples)
+
+    victim = VppVictim(handles.victim, wq_id=handles.victim_wq)
+    packets = profile.generate_visit(system.rng)
+    victim.schedule_trace(system.timeline, packets, system.clock.now)
+
+    sampler = DevTlbSampler(attack, system.timeline, settings.sampler_config())
+    return sampler.collect_trace()
+
+
+def collect_website_dataset(
+    profiles: list[WebsiteProfile],
+    visits_per_site: int,
+    settings: WfSamplerSettings | None = None,
+    seed: int = 1000,
+    environment: Environment = Environment.LOCAL,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Traces and labels for a list of sites.
+
+    Returns ``(x, y)`` with ``x`` of shape ``(sites * visits, slots)``.
+    """
+    settings = settings or WfSamplerSettings()
+    traces = []
+    labels = []
+    for label, profile in enumerate(profiles):
+        for visit in range(visits_per_site):
+            trace_seed = seed + label * 10_000 + visit
+            traces.append(
+                collect_website_trace(
+                    profile, trace_seed, settings, environment=environment
+                )
+            )
+            labels.append(label)
+    return np.stack(traces), np.array(labels)

@@ -1,0 +1,57 @@
+"""Simulated hardware base layer.
+
+This package models the pieces of a Sapphire-Rapids-class host that the
+DSAssassin reproduction depends on:
+
+* :mod:`repro.hw.units` — physical constants and unit conversions.
+* :mod:`repro.hw.clock` — the time-stamp counter (``rdtsc``) model.
+* :mod:`repro.hw.memory` — physical memory and the frame allocator.
+* :mod:`repro.hw.pagetable` — per-process virtual address spaces.
+* :mod:`repro.hw.noise` — environment noise models (Fig. 4 environments).
+* :mod:`repro.hw.pcie` — the PCIe link with posted / non-posted / DMWr
+  transactions.
+"""
+
+from repro.hw.clock import TscClock
+from repro.hw.memory import PhysicalMemory
+from repro.hw.noise import Environment, NoiseModel
+from repro.hw.pagetable import AddressSpace
+from repro.hw.pcie import PcieLink, TransactionKind
+from repro.hw.units import (
+    DEFAULT_TSC_HZ,
+    GIB,
+    HUGE_PAGE_SIZE,
+    KIB,
+    MIB,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    cycles_to_seconds,
+    cycles_to_us,
+    page_number,
+    page_offset,
+    seconds_to_cycles,
+    us_to_cycles,
+)
+
+__all__ = [
+    "AddressSpace",
+    "DEFAULT_TSC_HZ",
+    "Environment",
+    "GIB",
+    "HUGE_PAGE_SIZE",
+    "KIB",
+    "MIB",
+    "NoiseModel",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "PcieLink",
+    "PhysicalMemory",
+    "TransactionKind",
+    "TscClock",
+    "cycles_to_seconds",
+    "cycles_to_us",
+    "page_number",
+    "page_offset",
+    "seconds_to_cycles",
+    "us_to_cycles",
+]

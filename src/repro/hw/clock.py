@@ -1,0 +1,87 @@
+"""Time-stamp counter model.
+
+The attacks only ever *read* the TSC (``rdtsc``) and compare two readings,
+so the model is a monotonic integer cycle counter that software advances
+explicitly.  All actors in one simulation share a single :class:`TscClock`,
+which is what makes the attacker's latency measurements observe the
+victim's activity: both sides' device operations are stamped on the same
+timeline.
+"""
+
+from __future__ import annotations
+
+from repro.hw.units import DEFAULT_TSC_HZ, cycles_to_us, us_to_cycles
+
+#: Cost of executing ``rdtsc`` itself, charged on every read so that
+#: back-to-back reads never report a zero interval (matching real hardware,
+#: where a serialized rdtsc pair costs a few tens of cycles).
+RDTSC_OVERHEAD_CYCLES = 24
+
+
+class TscClock:
+    """A shared, monotonic cycle counter.
+
+    Parameters
+    ----------
+    freq_hz:
+        Nominal frequency used for cycle <-> wall-clock conversions.
+    rdtsc_overhead:
+        Cycles charged each time :meth:`rdtsc` is executed.
+    """
+
+    def __init__(
+        self,
+        freq_hz: int = DEFAULT_TSC_HZ,
+        rdtsc_overhead: int = RDTSC_OVERHEAD_CYCLES,
+    ) -> None:
+        if freq_hz <= 0:
+            raise ValueError(f"freq_hz must be positive, got {freq_hz}")
+        if rdtsc_overhead < 0:
+            raise ValueError("rdtsc_overhead must be non-negative")
+        self.freq_hz = freq_hz
+        self.rdtsc_overhead = rdtsc_overhead
+        self._now = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in cycles (free to read; no overhead)."""
+        return self._now
+
+    @property
+    def now_us(self) -> float:
+        """Current simulated time in microseconds."""
+        return cycles_to_us(self._now, self.freq_hz)
+
+    def rdtsc(self) -> int:
+        """Execute ``rdtsc``: charge its overhead and return the counter."""
+        self._now += self.rdtsc_overhead
+        return self._now
+
+    def advance(self, cycles: int) -> int:
+        """Advance time by *cycles* and return the new time.
+
+        Negative advances are rejected: the TSC is monotonic by
+        construction and a negative step always indicates a bug in the
+        calling simulation code.
+        """
+        if cycles < 0:
+            raise ValueError(f"cannot advance the TSC by {cycles} cycles")
+        self._now += int(cycles)
+        return self._now
+
+    def advance_us(self, microseconds: float) -> int:
+        """Advance time by *microseconds* and return the new time."""
+        return self.advance(us_to_cycles(microseconds, self.freq_hz))
+
+    def advance_to(self, timestamp: int) -> int:
+        """Advance time to *timestamp* if it lies in the future.
+
+        Advancing to a past timestamp is a no-op rather than an error:
+        actors frequently wait on completions that already happened.
+        """
+        if timestamp > self._now:
+            self._now = int(timestamp)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"TscClock(now={self._now}, freq_hz={self.freq_hz})"

@@ -1,0 +1,78 @@
+"""Physical constants and unit conversions used throughout the model.
+
+All latencies in the reproduction are expressed in *TSC cycles* of a
+2.0 GHz reference clock (the paper measures everything with ``rdtsc`` on a
+Xeon Platinum 8468V whose base clock is 2.1 GHz; 2.0 GHz keeps the
+µs↔cycle conversions round without changing any qualitative behavior).
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+
+HUGE_PAGE_SHIFT = 21
+HUGE_PAGE_SIZE = 1 << HUGE_PAGE_SHIFT
+
+#: Reference TSC frequency for cycle <-> wall-clock conversions.
+DEFAULT_TSC_HZ = 2_000_000_000
+
+
+def page_number(address: int) -> int:
+    """Return the 4 KiB page number containing *address*."""
+    return address >> PAGE_SHIFT
+
+
+def page_offset(address: int) -> int:
+    """Return the offset of *address* within its 4 KiB page."""
+    return address & (PAGE_SIZE - 1)
+
+
+def huge_page_number(address: int) -> int:
+    """Return the 2 MiB huge-page number containing *address*."""
+    return address >> HUGE_PAGE_SHIFT
+
+
+def cycles_to_seconds(cycles: float, freq_hz: int = DEFAULT_TSC_HZ) -> float:
+    """Convert TSC *cycles* to seconds at *freq_hz*."""
+    return cycles / freq_hz
+
+
+def seconds_to_cycles(seconds: float, freq_hz: int = DEFAULT_TSC_HZ) -> int:
+    """Convert *seconds* to an integer number of TSC cycles at *freq_hz*."""
+    return int(round(seconds * freq_hz))
+
+
+def us_to_cycles(microseconds: float, freq_hz: int = DEFAULT_TSC_HZ) -> int:
+    """Convert *microseconds* to TSC cycles at *freq_hz*."""
+    return int(round(microseconds * freq_hz / 1_000_000))
+
+
+def cycles_to_us(cycles: float, freq_hz: int = DEFAULT_TSC_HZ) -> float:
+    """Convert TSC *cycles* to microseconds at *freq_hz*."""
+    return cycles * 1_000_000 / freq_hz
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round *value* up to the next multiple of *alignment*."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return (value + alignment - 1) // alignment * alignment
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round *value* down to the previous multiple of *alignment*."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return value // alignment * alignment
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """Return ``True`` when *value* is a multiple of *alignment*."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return value % alignment == 0

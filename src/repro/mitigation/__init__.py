@@ -1,0 +1,33 @@
+"""Mitigations (Section VII), detection, and the Fig. 14 overhead harness."""
+
+from repro.mitigation.detector import (
+    AttackDetector,
+    DetectorConfig,
+    Finding,
+    FindingKind,
+)
+from repro.mitigation.overhead import (
+    OverheadRow,
+    measure_dsa_throughput,
+    measure_dto_throughput,
+    mitigation_overhead_sweep,
+)
+from repro.mitigation.partitioning import (
+    DevTlbScrubber,
+    hardware_partitioned_config,
+    privileged_dmwr_config,
+)
+
+__all__ = [
+    "AttackDetector",
+    "DetectorConfig",
+    "DevTlbScrubber",
+    "Finding",
+    "FindingKind",
+    "OverheadRow",
+    "hardware_partitioned_config",
+    "measure_dsa_throughput",
+    "measure_dto_throughput",
+    "mitigation_overhead_sweep",
+    "privileged_dmwr_config",
+]

@@ -1,0 +1,207 @@
+"""Runtime detection of DSAssassin-style attack patterns.
+
+Beyond blocking (partitioning, privileged DMWr) and jamming (the
+scrubber), a host can *detect* these attacks: their primitives leave
+highly characteristic fingerprints in counters a privileged daemon
+already has —
+
+* ``DSA_SWQ`` congests a queue with bursts of ``wq_size - 1``
+  submissions and probes it: per-queue **rejection rates** (DMWr retry
+  counts) explode, and queue occupancy sits pinned at capacity.
+* ``DSA_DevTLB`` probes one completion page at a fixed cadence: the
+  engine's Perfmon shows a stream of single-page descriptors whose
+  DevTLB behavior alternates with victim activity — an
+  **abnormally high request rate with near-zero data movement**.
+
+:class:`AttackDetector` polls those counters periodically and raises
+findings.  It needs root (Perfmon + occupancy registers), which a cloud
+host's management plane has.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dsa.device import DsaDevice
+from repro.virt.scheduler import Timeline
+
+
+class FindingKind(enum.Enum):
+    """What the detector believes it saw."""
+
+    SWQ_CONGESTION_PROBING = "swq-congestion-probing"
+    DEVTLB_PROBE_CADENCE = "devtlb-probe-cadence"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detector alert."""
+
+    kind: FindingKind
+    timestamp: int
+    detail: str
+
+
+@dataclass
+class _QueueBaseline:
+    rejected: int = 0
+    enqueued: int = 0
+
+
+@dataclass
+class _EngineBaseline:
+    requests: int = 0
+    bytes_processed: int = 0
+    descriptors: int = 0
+
+
+@dataclass
+class DetectorConfig:
+    """Detection thresholds per polling window."""
+
+    poll_period_us: float = 1000.0
+    #: Rejected/attempted ratio above which a queue is congestion-probed.
+    rejection_ratio_threshold: float = 0.05
+    #: Minimum submissions in a window before the ratio is meaningful.
+    min_submissions: int = 8
+    #: Consecutive polls with occupancy pinned at >= size-1 before the
+    #: queue is flagged (the armed state of Congest+Probe).
+    pinned_polls_threshold: int = 3
+    #: Descriptors/window above this with avg size below min_avg_bytes
+    #: flags a probe cadence.
+    probe_rate_threshold: int = 20
+    min_avg_bytes: float = 64.0
+
+
+class AttackDetector:
+    """Privileged polling detector for both attack primitives."""
+
+    def __init__(self, device: DsaDevice, config: DetectorConfig | None = None) -> None:
+        self.device = device
+        self.config = config or DetectorConfig()
+        self.findings: list[Finding] = []
+        self._queue_baselines: dict[int, _QueueBaseline] = {}
+        self._engine_baselines: dict[int, _EngineBaseline] = {}
+        self._pinned_streak: dict[int, int] = {}
+        self._running = False
+        self.polls = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, timeline: Timeline) -> None:
+        """Begin periodic polling on *timeline*."""
+        self._running = True
+        self._snapshot_baselines()
+        timeline.schedule_after_us(
+            self.config.poll_period_us, lambda: self._poll(timeline)
+        )
+
+    def stop(self) -> None:
+        """Stop after the next tick."""
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Polling
+    # ------------------------------------------------------------------
+    def _snapshot_baselines(self) -> None:
+        for queue in self.device.queue_space.queues():
+            self._queue_baselines[queue.wq_id] = _QueueBaseline(
+                rejected=queue.rejected_total, enqueued=queue.enqueued_total
+            )
+        for engine_id, engine in self.device.engines.items():
+            stats = self.device.devtlb.engine_stats(engine_id)
+            self._engine_baselines[engine_id] = _EngineBaseline(
+                requests=stats.alloc_requests,
+                bytes_processed=engine.stats.bytes_processed,
+                descriptors=engine.stats.descriptors_executed,
+            )
+
+    def _poll(self, timeline: Timeline) -> None:
+        if not self._running:
+            return
+        self.polls += 1
+        now = timeline.clock.now
+        self.device.advance_to(now)
+        self._check_queues(now)
+        self._check_engines(now)
+        self._snapshot_baselines()
+        timeline.schedule_after_us(
+            self.config.poll_period_us, lambda: self._poll(timeline)
+        )
+
+    def _check_queues(self, now: int) -> None:
+        config = self.config
+        for queue in self.device.queue_space.queues():
+            baseline = self._queue_baselines.get(queue.wq_id, _QueueBaseline())
+            rejected = queue.rejected_total - baseline.rejected
+            attempted = (queue.enqueued_total - baseline.enqueued) + rejected
+            ratio = rejected / attempted if attempted else 0.0
+            if (
+                attempted >= config.min_submissions
+                and ratio >= config.rejection_ratio_threshold
+            ):
+                self.findings.append(
+                    Finding(
+                        kind=FindingKind.SWQ_CONGESTION_PROBING,
+                        timestamp=now,
+                        detail=(
+                            f"WQ {queue.wq_id}: {rejected}/{attempted} DMWr "
+                            f"retries ({ratio:.0%}) in one window"
+                        ),
+                    )
+                )
+                continue
+            # Armed-state detection: Congest+Probe keeps the occupancy
+            # register pinned at capacity(-1) even when nobody is being
+            # rejected (no victim active yet).
+            pinned = queue.occupancy >= queue.config.size - 1
+            streak = self._pinned_streak.get(queue.wq_id, 0) + 1 if pinned else 0
+            self._pinned_streak[queue.wq_id] = streak
+            if streak == config.pinned_polls_threshold:
+                self.findings.append(
+                    Finding(
+                        kind=FindingKind.SWQ_CONGESTION_PROBING,
+                        timestamp=now,
+                        detail=(
+                            f"WQ {queue.wq_id}: occupancy pinned at "
+                            f"{queue.occupancy}/{queue.config.size} for "
+                            f"{streak} consecutive polls"
+                        ),
+                    )
+                )
+
+    def _check_engines(self, now: int) -> None:
+        config = self.config
+        for engine_id, engine in self.device.engines.items():
+            baseline = self._engine_baselines.get(engine_id, _EngineBaseline())
+            descriptors = engine.stats.descriptors_executed - baseline.descriptors
+            data_bytes = engine.stats.bytes_processed - baseline.bytes_processed
+            if descriptors < config.probe_rate_threshold:
+                continue
+            average = data_bytes / descriptors
+            if average < config.min_avg_bytes:
+                self.findings.append(
+                    Finding(
+                        kind=FindingKind.DEVTLB_PROBE_CADENCE,
+                        timestamp=now,
+                        detail=(
+                            f"engine {engine_id}: {descriptors} descriptors "
+                            f"averaging {average:.0f} B in one window "
+                            f"(zero-work probe cadence)"
+                        ),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def findings_of(self, kind: FindingKind) -> list[Finding]:
+        """All findings of one kind."""
+        return [f for f in self.findings if f.kind is kind]
+
+    @property
+    def triggered(self) -> bool:
+        """Whether anything was flagged."""
+        return bool(self.findings)

@@ -1,0 +1,151 @@
+"""The Fig. 14 overhead harness.
+
+Reproduces the paper's methodology: run the ``dsa-perf-micros``-style
+native DSA copy loop and the DTO-intercepted copy loop across transfer
+sizes, with and without the software DevTLB mitigation, and report the
+throughput degradation.  The paper sees up to 15.7 % (native) and 17.9 %
+(DTO) at the smallest size (256 B), fading as transfers grow — small
+operations live and die by DevTLB locality, which is exactly what the
+scrubber destroys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dsa.descriptor import make_memcpy
+from repro.hw.units import DEFAULT_TSC_HZ
+from repro.virt.process import GuestProcess
+from repro.virt.scheduler import Timeline
+from repro.virt.system import CloudSystem
+from repro.workloads.dto import DtoRuntime
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """One Fig. 14 data point."""
+
+    size_bytes: int
+    path: str  # "dsa" or "dto"
+    baseline_gbps: float
+    mitigated_gbps: float
+
+    @property
+    def overhead_percent(self) -> float:
+        """Throughput loss caused by the mitigation."""
+        if self.baseline_gbps <= 0:
+            return 0.0
+        return (1.0 - self.mitigated_gbps / self.baseline_gbps) * 100.0
+
+
+def _gbps(total_bytes: int, cycles: int, tsc_hz: int = DEFAULT_TSC_HZ) -> float:
+    seconds = cycles / tsc_hz
+    return total_bytes / seconds / 1e9 if seconds > 0 else 0.0
+
+
+def measure_dsa_throughput(
+    process: GuestProcess,
+    wq_id: int,
+    size: int,
+    iterations: int,
+    timeline: Timeline | None = None,
+) -> float:
+    """Native-path throughput: synchronous submit/poll memcpy loop.
+
+    Reuses the same source/destination buffers every iteration, as
+    ``dsa-perf-micros`` does — which is what gives the baseline its
+    DevTLB locality.
+    """
+    src = process.buffer(max(size, 4096))
+    dst = process.buffer(max(size, 4096))
+    comp = process.comp_record()
+    portal = process.portal(wq_id)
+    clock = portal.clock
+    # Warm up translations so steady-state locality is measured.
+    portal.submit_wait(make_memcpy(process.pasid, src, dst, size, comp))
+    start = clock.now
+    for _ in range(iterations):
+        portal.submit_wait(make_memcpy(process.pasid, src, dst, size, comp))
+        if timeline is not None:
+            timeline.run_until(clock.now)
+    return _gbps(size * iterations, clock.now - start, clock.freq_hz)
+
+
+def measure_dto_throughput(
+    dto: DtoRuntime,
+    size: int,
+    iterations: int,
+    timeline: Timeline | None = None,
+) -> float:
+    """DTO-path throughput: intercepted memcpy loop with a final drain."""
+    process = dto.process
+    src = process.buffer(max(size, 4096))
+    dst = process.buffer(max(size, 4096))
+    clock = dto.portal.clock
+    dto.memcpy(dst, src, size)  # warm-up
+    if dto.portal.last_ticket is not None:
+        dto.portal.wait(dto.portal.last_ticket)
+    start = clock.now
+    for _ in range(iterations):
+        dto.memcpy(dst, src, size)
+        if dto.portal.last_ticket is not None:
+            dto.portal.wait(dto.portal.last_ticket)
+        if timeline is not None:
+            timeline.run_until(clock.now)
+    return _gbps(size * iterations, clock.now - start, clock.freq_hz)
+
+
+def mitigation_overhead_sweep(
+    sizes: list[int],
+    iterations: int = 200,
+    scrub_period_us: float = 4.6,
+    seed: int = 99,
+) -> list[OverheadRow]:
+    """Run the full Fig. 14 sweep and return its rows.
+
+    Each (size, path) cell compares a quiet system against one running
+    the :class:`~repro.mitigation.partitioning.DevTlbScrubber` on the
+    victim's queue.
+    """
+    from repro.mitigation.partitioning import DevTlbScrubber
+    from repro.virt.system import AttackTopology
+
+    rows: list[OverheadRow] = []
+    for size in sizes:
+        throughput: dict[tuple[str, bool], float] = {}
+        for mitigated in (False, True):
+            system = CloudSystem(seed=seed)
+            handles = system.setup_topology(
+                AttackTopology.E1_SEPARATE_WQ_SHARED_ENGINE
+            )
+            victim = handles.victim
+            scrubber = None
+            if mitigated:
+                daemon_vm = system.create_vm("host-daemon")
+                daemon = daemon_vm.spawn_process("scrubber")
+                system.open_portal(daemon, handles.attacker_wq)
+                scrubber = DevTlbScrubber(
+                    daemon, handles.attacker_wq, period_us=scrub_period_us
+                )
+                scrubber.start(system.timeline)
+            throughput[("dsa", mitigated)] = measure_dsa_throughput(
+                victim, handles.victim_wq, size, iterations, system.timeline
+            )
+            # DTO path needs its threshold below the smallest size so the
+            # sweep exercises the offload at 256 B like the paper.
+            dto = DtoRuntime(victim, wq_id=handles.victim_wq, min_bytes=64)
+            throughput[("dto", mitigated)] = measure_dto_throughput(
+                dto, size, iterations, system.timeline
+            )
+            if scrubber is not None:
+                scrubber.stop()
+        for path in ("dsa", "dto"):
+            rows.append(
+                OverheadRow(
+                    size_bytes=size,
+                    path=path,
+                    baseline_gbps=throughput[(path, False)],
+                    mitigated_gbps=throughput[(path, True)],
+                )
+            )
+    return rows

@@ -1,0 +1,120 @@
+"""Mitigations against DSAssassin (Section VII).
+
+**Hardware level** — two proposals from the paper, both expressible as
+device configuration:
+
+* :func:`hardware_partitioned_config` tags DevTLB entries with the PASID
+  (the IOTLB-style isolation fix), killing ``DSA_DevTLB``.
+* :func:`privileged_dmwr_config` hides the DMWr accept/retry answer from
+  unprivileged submitters, killing ``DSA_SWQ``.
+
+**Software level** — the mitigation the paper actually implements and
+measures (Fig. 14): :class:`DevTlbScrubber`, a privileged daemon that
+*periodically inserts random entries into the DevTLB* so an attacker's
+probe observations decorrelate from victim activity.  Its cost is the
+victim's lost DevTLB locality plus the scrubber's own queue slots, which
+Fig. 14 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.ats.devtlb import DevTlbConfig
+from repro.dsa.descriptor import make_noop
+from repro.dsa.device import DsaDeviceConfig
+from repro.hw.units import PAGE_SIZE
+from repro.virt.process import GuestProcess
+from repro.virt.scheduler import Timeline
+
+
+def hardware_partitioned_config(
+    base: DsaDeviceConfig | None = None,
+) -> DsaDeviceConfig:
+    """A device whose DevTLB is PASID-partitioned (hardware fix #1)."""
+    base = base or DsaDeviceConfig()
+    return replace(base, devtlb=DevTlbConfig(
+        pasid_partitioned=True,
+        slots_per_subentry=base.devtlb.slots_per_subentry,
+    ))
+
+
+def privileged_dmwr_config(base: DsaDeviceConfig | None = None) -> DsaDeviceConfig:
+    """A device whose DMWr answer is privileged (hardware fix #2)."""
+    base = base or DsaDeviceConfig()
+    return replace(base, dmwr_privileged=True)
+
+
+class DevTlbScrubber:
+    """The software *partitioning* mitigation measured in Fig. 14.
+
+    A privileged host daemon owns one process per protected work queue
+    and, every ``period_us``, submits a noop descriptor with a random
+    completion-record page — replacing whatever translation a tenant (or
+    attacker) had cached in that engine's ``comp`` sub-entry.
+
+    Parameters
+    ----------
+    process:
+        The daemon's guest process (typically host-owned), already bound
+        to the protected queue.
+    wq_id:
+        Queue whose engine to scrub.
+    period_us:
+        Scrub interval; smaller = stronger protection, larger overhead.
+    pool_pages:
+        Number of distinct completion pages cycled through.
+    """
+
+    def __init__(
+        self,
+        process: GuestProcess,
+        wq_id: int,
+        period_us: float = 25.0,
+        pool_pages: int = 16,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if period_us <= 0:
+            raise ValueError("period_us must be positive")
+        self.process = process
+        self.portal = process.portal(wq_id)
+        self.period_us = period_us
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._pool = [process.space.mmap(PAGE_SIZE) for _ in range(pool_pages)]
+        self.scrubs = 0
+        self.skipped_full = 0
+        self._running = False
+
+    def start(self, timeline: Timeline) -> None:
+        """Begin periodic scrubbing (self-rescheduling timeline action)."""
+        self._running = True
+        timeline.schedule_after_us(self.period_us, lambda: self._tick(timeline))
+
+    def stop(self) -> None:
+        """Stop after the next tick."""
+        self._running = False
+
+    def _tick(self, timeline: Timeline) -> None:
+        if not self._running:
+            return
+        # The daemon is privileged: it reads the occupancy register and
+        # yields to tenant traffic, scrubbing only idle gaps — protection
+        # without queueing interference.
+        device = self.portal.device
+        device.advance_to(self.portal.clock.now)
+        busy = any(q.occupancy > 0 for q in device.queue_space.queues())
+        if busy:
+            self.skipped_full += 1
+        else:
+            comp = self._pool[int(self.rng.integers(0, len(self._pool)))]
+            descriptor = make_noop(self.process.pasid, comp)
+            if self.portal.enqcmd(descriptor):
+                self.skipped_full += 1
+            else:
+                self.scrubs += 1
+        # Jitter the period slightly so attackers cannot subtract a
+        # deterministic scrub pattern.
+        jitter = float(self.rng.uniform(0.85, 1.15))
+        timeline.schedule_after_us(self.period_us * jitter, lambda: self._tick(timeline))

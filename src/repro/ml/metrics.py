@@ -1,0 +1,63 @@
+"""Classification metrics: accuracy, confusion matrix, precision/recall/F1."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """Top-1 accuracy."""
+    labels = np.asarray(labels)
+    predictions = np.asarray(predictions)
+    if labels.shape != predictions.shape:
+        raise ValueError("labels and predictions must align")
+    if labels.size == 0:
+        raise ValueError("cannot score zero samples")
+    return float((labels == predictions).mean())
+
+
+def confusion_matrix(
+    labels: np.ndarray, predictions: np.ndarray, classes: int
+) -> np.ndarray:
+    """Row = true class, column = predicted class, raw counts."""
+    matrix = np.zeros((classes, classes), dtype=np.int64)
+    for true, predicted in zip(np.asarray(labels), np.asarray(predictions)):
+        matrix[int(true), int(predicted)] += 1
+    return matrix
+
+
+def precision_recall_f1(
+    true_positives: int, false_positives: int, false_negatives: int
+) -> tuple[float, float, float]:
+    """Event-detection metrics from raw counts (keystroke evaluation)."""
+    precision = (
+        true_positives / (true_positives + false_positives)
+        if true_positives + false_positives
+        else 0.0
+    )
+    recall = (
+        true_positives / (true_positives + false_negatives)
+        if true_positives + false_negatives
+        else 0.0
+    )
+    f1 = (
+        2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    )
+    return precision, recall, f1
+
+
+def f1_score(true_positives: int, false_positives: int, false_negatives: int) -> float:
+    """Just the F1 from raw counts."""
+    return precision_recall_f1(true_positives, false_positives, false_negatives)[2]
+
+
+def macro_f1(labels: np.ndarray, predictions: np.ndarray, classes: int) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    matrix = confusion_matrix(labels, predictions, classes)
+    scores = []
+    for c in range(classes):
+        tp = int(matrix[c, c])
+        fp = int(matrix[:, c].sum() - tp)
+        fn = int(matrix[c, :].sum() - tp)
+        scores.append(f1_score(tp, fp, fn))
+    return float(np.mean(scores))

@@ -1,0 +1,134 @@
+"""The Attention-BiLSTM trace classifier (Section VI-B).
+
+Architecture, following the paper: an input projection, **two BiLSTM
+layers**, an additive **attention** pooling that weights informative time
+steps, **dropout** between components, and a softmax output layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.layers import (
+    AdditiveAttention,
+    BiLstmLayer,
+    Dense,
+    Dropout,
+    softmax,
+    softmax_cross_entropy,
+)
+
+
+class AttentionBiLstmClassifier:
+    """Sequence classifier over side-channel traces.
+
+    Parameters
+    ----------
+    classes:
+        Number of output classes.
+    hidden:
+        Hidden size of each LSTM direction.
+    attention_size:
+        Width of the attention scoring space.
+    dropout:
+        Dropout rate applied after each BiLSTM layer.
+    rng:
+        Generator for initialization and dropout masks.
+    """
+
+    def __init__(
+        self,
+        classes: int,
+        hidden: int = 24,
+        attention_size: int = 24,
+        dropout: float = 0.2,
+        rng: np.random.Generator | None = None,
+        input_features: int = 1,
+    ) -> None:
+        if classes < 2:
+            raise ValueError(f"need at least 2 classes, got {classes}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.classes = classes
+        self.lstm1 = BiLstmLayer(input_features, hidden, rng)
+        self.drop1 = Dropout(dropout, rng)
+        self.lstm2 = BiLstmLayer(2 * hidden, hidden, rng)
+        self.drop2 = Dropout(dropout, rng)
+        self.attention = AdditiveAttention(2 * hidden, attention_size, rng)
+        self.head = Dense(2 * hidden, classes, rng)
+        self._layers = [
+            self.lstm1,
+            self.drop1,
+            self.lstm2,
+            self.drop2,
+            self.attention,
+            self.head,
+        ]
+
+    # ------------------------------------------------------------------
+    # Forward / backward
+    # ------------------------------------------------------------------
+    def set_training(self, training: bool) -> None:
+        """Toggle dropout."""
+        self.drop1.training = training
+        self.drop2.training = training
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Logits for a ``(batch, T)`` or ``(batch, T, F)`` trace batch."""
+        if x.ndim == 2:
+            x = x[:, :, None]
+        h = self.lstm1.forward(x)
+        h = self.drop1.forward(h)
+        h = self.lstm2.forward(h)
+        h = self.drop2.forward(h)
+        context = self.attention.forward(h)
+        return self.head.forward(context)
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        """Backprop the loss gradient through the whole stack."""
+        grad = self.head.backward(grad_logits)
+        grad = self.attention.backward(grad)
+        grad = self.drop2.backward(grad)
+        grad = self.lstm2.backward(grad)
+        grad = self.drop1.backward(grad)
+        self.lstm1.backward(grad)
+
+    def loss(self, x: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+        """Forward + cross-entropy; returns (loss, grad_logits)."""
+        logits = self.forward(x)
+        return softmax_cross_entropy(logits, labels)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities (evaluation mode)."""
+        was_training = self.drop1.training
+        self.set_training(False)
+        probabilities = softmax(self.forward(x), axis=1)
+        self.set_training(was_training)
+        return probabilities
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard class predictions."""
+        return self.predict_proba(x).argmax(axis=1)
+
+    # ------------------------------------------------------------------
+    # Optimizer plumbing
+    # ------------------------------------------------------------------
+    def params(self) -> list[np.ndarray]:
+        """Every trainable array, in a stable order."""
+        out: list[np.ndarray] = []
+        for layer in self._layers:
+            out.extend(layer.params())
+        return out
+
+    def grads(self) -> list[np.ndarray]:
+        """Gradient arrays aligned with :meth:`params`."""
+        out: list[np.ndarray] = []
+        for layer in self._layers:
+            out.extend(layer.grads())
+        return out
+
+    def parameter_count(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.params())

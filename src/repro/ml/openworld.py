@@ -1,0 +1,103 @@
+"""Open-world classification.
+
+The paper's fingerprinting studies are closed-world (every test trace
+belongs to a trained class).  Real attackers face an *open world*: the
+victim may visit a site — or run a model — the attacker never profiled.
+The standard fix is confidence thresholding: reject a prediction whose
+posterior mass falls below a threshold calibrated on held-out known
+traces, trading a little known-class recall for the ability to say
+"unknown".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.model import AttentionBiLstmClassifier
+
+#: Label returned for rejected (out-of-world) traces.
+UNKNOWN = -1
+
+
+@dataclass(frozen=True)
+class OpenWorldScores:
+    """Evaluation of an open-world split."""
+
+    known_accuracy: float
+    unknown_rejection_rate: float
+
+    @property
+    def balanced(self) -> float:
+        """Mean of known-class accuracy and unknown rejection."""
+        return (self.known_accuracy + self.unknown_rejection_rate) / 2
+
+
+class OpenWorldClassifier:
+    """Confidence-thresholded wrapper around the BiLSTM."""
+
+    def __init__(
+        self,
+        classifier: AttentionBiLstmClassifier,
+        mean: float,
+        std: float,
+        threshold: float = 0.5,
+    ) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+        self.classifier = classifier
+        self.threshold = threshold
+        self._mean = mean
+        self._std = std if std else 1.0
+
+    @classmethod
+    def from_trainer(cls, trainer, threshold: float = 0.5) -> "OpenWorldClassifier":
+        """Build from a fitted :class:`~repro.ml.train.Trainer`."""
+        if not hasattr(trainer, "_mean"):
+            raise RuntimeError("the trainer has not been fitted")
+        return cls(trainer.model, trainer._mean, trainer._std, threshold)
+
+    def _proba(self, traces: np.ndarray) -> np.ndarray:
+        x = (np.asarray(traces, dtype=np.float64) - self._mean) / self._std
+        if x.ndim == 1:
+            x = x[None, :]
+        return self.classifier.predict_proba(x)
+
+    def predict(self, traces: np.ndarray) -> np.ndarray:
+        """Labels with :data:`UNKNOWN` for low-confidence traces."""
+        probabilities = self._proba(traces)
+        labels = probabilities.argmax(axis=1)
+        confident = probabilities.max(axis=1) >= self.threshold
+        return np.where(confident, labels, UNKNOWN)
+
+    def calibrate_threshold(
+        self, known_traces: np.ndarray, target_known_recall: float = 0.9
+    ) -> float:
+        """Pick the largest threshold keeping *target_known_recall* of the
+        held-out known traces accepted; installs and returns it."""
+        if not 0.0 < target_known_recall <= 1.0:
+            raise ValueError("target_known_recall must be in (0, 1]")
+        confidences = np.sort(self._proba(known_traces).max(axis=1))
+        index = int(np.floor((1.0 - target_known_recall) * len(confidences)))
+        index = min(index, len(confidences) - 1)
+        threshold = float(min(max(confidences[index] - 1e-9, 1e-6), 1 - 1e-6))
+        self.threshold = threshold
+        return threshold
+
+    def evaluate(
+        self,
+        known_traces: np.ndarray,
+        known_labels: np.ndarray,
+        unknown_traces: np.ndarray,
+    ) -> OpenWorldScores:
+        """Score known-class accuracy and unknown rejection."""
+        known_predictions = self.predict(known_traces)
+        known_accuracy = float(
+            (known_predictions == np.asarray(known_labels)).mean()
+        )
+        unknown_predictions = self.predict(unknown_traces)
+        rejection = float((unknown_predictions == UNKNOWN).mean())
+        return OpenWorldScores(
+            known_accuracy=known_accuracy, unknown_rejection_rate=rejection
+        )

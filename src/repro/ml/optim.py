@@ -1,0 +1,63 @@
+"""The Adam optimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Adam:
+    """Adam (Kingma & Ba) over a fixed list of parameter arrays.
+
+    Parameters and their gradient arrays are matched by position; the
+    gradient arrays must be the same objects across steps (layers
+    overwrite them in place on each backward pass).
+    """
+
+    def __init__(
+        self,
+        params: list[np.ndarray],
+        grads: list[np.ndarray],
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        clip_norm: float | None = 5.0,
+    ) -> None:
+        if len(params) != len(grads):
+            raise ValueError("params and grads must align")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.params = params
+        self.grads = grads
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.clip_norm = clip_norm
+        self._m = [np.zeros_like(p) for p in params]
+        self._v = [np.zeros_like(p) for p in params]
+        self._step = 0
+
+    def global_gradient_norm(self) -> float:
+        """L2 norm across every gradient array."""
+        total = sum(float((g**2).sum()) for g in self.grads)
+        return float(np.sqrt(total))
+
+    def step(self) -> None:
+        """Apply one update (with optional global-norm clipping)."""
+        self._step += 1
+        scale = 1.0
+        if self.clip_norm is not None:
+            norm = self.global_gradient_norm()
+            if norm > self.clip_norm:
+                scale = self.clip_norm / (norm + 1e-12)
+        bias1 = 1.0 - self.beta1**self._step
+        bias2 = 1.0 - self.beta2**self._step
+        for param, grad, m, v in zip(self.params, self.grads, self._m, self._v):
+            g = grad * scale
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g**2
+            update = (m / bias1) / (np.sqrt(v / bias2) + self.epsilon)
+            param -= self.learning_rate * update

@@ -1,0 +1,134 @@
+"""Training loop and dataset utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.metrics import accuracy
+from repro.ml.model import AttentionBiLstmClassifier
+from repro.ml.optim import Adam
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.2,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Stratified shuffle split (per-class proportions preserved).
+
+    The paper uses 80/20 splits throughout.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    if len(x) != len(y):
+        raise ValueError("x and y must align")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    train_idx: list[int] = []
+    test_idx: list[int] = []
+    for cls in np.unique(y):
+        members = np.flatnonzero(y == cls)
+        rng.shuffle(members)
+        cut = max(int(round(len(members) * test_fraction)), 1)
+        test_idx.extend(members[:cut])
+        train_idx.extend(members[cut:])
+    train_idx = np.array(sorted(train_idx))
+    test_idx = np.array(sorted(test_idx))
+    return x[train_idx], y[train_idx], x[test_idx], y[test_idx]
+
+
+def standardize_traces(x: np.ndarray) -> np.ndarray:
+    """Zero-mean unit-variance scaling using global statistics."""
+    x = np.asarray(x, dtype=np.float64)
+    std = x.std()
+    return (x - x.mean()) / (std if std > 0 else 1.0)
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Training hyperparameters."""
+
+    epochs: int = 30
+    batch_size: int = 32
+    learning_rate: float = 3e-3
+    seed: int = 0
+    #: Stop early once training accuracy reaches this level.
+    early_stop_train_accuracy: float = 0.999
+
+
+@dataclass
+class TrainResult:
+    """Per-epoch history and the final state."""
+
+    losses: list[float] = field(default_factory=list)
+    train_accuracies: list[float] = field(default_factory=list)
+
+    @property
+    def epochs_run(self) -> int:
+        """How many epochs actually executed."""
+        return len(self.losses)
+
+
+class Trainer:
+    """Minibatch Adam trainer for the Attention-BiLSTM."""
+
+    def __init__(
+        self, model: AttentionBiLstmClassifier, config: TrainConfig | None = None
+    ) -> None:
+        self.model = model
+        self.config = config or TrainConfig()
+        self.optimizer = Adam(
+            model.params(), model.grads(), learning_rate=self.config.learning_rate
+        )
+        self.rng = np.random.default_rng(self.config.seed)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> TrainResult:
+        """Train on ``(samples, T)`` traces with integer labels."""
+        x = np.asarray(x, dtype=np.float64)
+        # Remember the training statistics: predictions (possibly single
+        # traces) must be scaled with *these*, not their own.
+        self._mean = float(x.mean())
+        self._std = float(x.std()) or 1.0
+        x = (x - self._mean) / self._std
+        y = np.asarray(y)
+        result = TrainResult()
+        count = len(x)
+        for _ in range(self.config.epochs):
+            order = self.rng.permutation(count)
+            epoch_loss = 0.0
+            batches = 0
+            self.model.set_training(True)
+            for start in range(0, count, self.config.batch_size):
+                batch = order[start : start + self.config.batch_size]
+                loss, grad = self.model.loss(x[batch], y[batch])
+                self.model.backward(grad)
+                self.optimizer.step()
+                epoch_loss += loss
+                batches += 1
+            result.losses.append(epoch_loss / batches)
+            train_accuracy = accuracy(y, self.predict(x, already_standardized=True))
+            result.train_accuracies.append(train_accuracy)
+            if train_accuracy >= self.config.early_stop_train_accuracy:
+                break
+        self.model.set_training(False)
+        return result
+
+    def predict(self, x: np.ndarray, already_standardized: bool = False) -> np.ndarray:
+        """Predict in evaluation mode, batched to bound memory.
+
+        Inputs are scaled with the statistics remembered from :meth:`fit`.
+        """
+        if not already_standardized:
+            if not hasattr(self, "_mean"):
+                raise RuntimeError("fit() must run before predict()")
+            x = (np.asarray(x, dtype=np.float64) - self._mean) / self._std
+        outputs = []
+        for start in range(0, len(x), 256):
+            outputs.append(self.model.predict(x[start : start + 256]))
+        return np.concatenate(outputs)
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Top-1 accuracy on held-out data."""
+        return accuracy(np.asarray(y), self.predict(x))

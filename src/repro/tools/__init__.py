@@ -1,0 +1,23 @@
+"""Operator tooling: performance microbenchmarks and configuration.
+
+* :mod:`repro.tools.perf_micros` — the ``dsa-perf-micros``-style
+  throughput/latency microbenchmark suite the paper uses for the Fig. 14
+  methodology.
+* :mod:`repro.tools.config_loader` — accel-config-style JSON topology
+  loading for :class:`~repro.dsa.device.DsaDevice`.
+"""
+
+from repro.tools.config_loader import apply_topology, load_topology
+from repro.tools.perf_micros import (
+    MicroResult,
+    PerfMicros,
+    format_results,
+)
+
+__all__ = [
+    "MicroResult",
+    "PerfMicros",
+    "apply_topology",
+    "format_results",
+    "load_topology",
+]

@@ -1,0 +1,138 @@
+"""accel-config-style topology files.
+
+``accel-config save-config`` dumps a device's group/engine/queue topology
+as JSON; operators apply such files at boot.  This module implements the
+same workflow for the model: a JSON document describes groups, engines,
+and work queues, and :func:`apply_topology` configures a
+:class:`~repro.dsa.device.DsaDevice` accordingly (validating against the
+hardware limits the model enforces).
+
+Schema::
+
+    {
+      "groups": [
+        {"id": 0, "engines": [0, 1]},
+        {"id": 1, "engines": [2]}
+      ],
+      "work_queues": [
+        {"id": 0, "size": 64, "mode": "shared", "priority": 4, "group": 0},
+        {"id": 1, "size": 32, "mode": "dedicated", "group": 1}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.dsa.device import DsaDevice
+from repro.dsa.wq import WorkQueueConfig, WqMode
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A validated topology document."""
+
+    groups: tuple[tuple[int, tuple[int, ...]], ...]
+    work_queues: tuple[WorkQueueConfig, ...]
+
+
+def _parse_mode(value: str) -> WqMode:
+    try:
+        return WqMode(value)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"unknown work-queue mode {value!r}; expected "
+            f"{[m.value for m in WqMode]}"
+        ) from exc
+
+
+def load_topology(source: str | Path | dict) -> Topology:
+    """Parse a topology from a JSON file path, JSON string, or dict."""
+    if isinstance(source, dict):
+        document = source
+    else:
+        path = Path(source)
+        if path.exists():
+            document = json.loads(path.read_text())
+        else:
+            try:
+                document = json.loads(str(source))
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"topology source is neither a file nor JSON: {source!r}"
+                ) from exc
+    if not isinstance(document, dict):
+        raise ConfigurationError("topology document must be a JSON object")
+
+    groups = []
+    for entry in document.get("groups", []):
+        if "id" not in entry or "engines" not in entry:
+            raise ConfigurationError(f"group entry missing id/engines: {entry}")
+        engines = tuple(int(e) for e in entry["engines"])
+        groups.append((int(entry["id"]), engines))
+    if not groups:
+        raise ConfigurationError("topology declares no groups")
+
+    group_ids = {group_id for group_id, _ in groups}
+    queues = []
+    for entry in document.get("work_queues", []):
+        for key in ("id", "size", "group"):
+            if key not in entry:
+                raise ConfigurationError(f"work-queue entry missing {key!r}: {entry}")
+        if int(entry["group"]) not in group_ids:
+            raise ConfigurationError(
+                f"work queue {entry['id']} references undeclared group "
+                f"{entry['group']}"
+            )
+        queues.append(
+            WorkQueueConfig(
+                wq_id=int(entry["id"]),
+                size=int(entry["size"]),
+                mode=_parse_mode(entry.get("mode", "shared")),
+                priority=int(entry.get("priority", 0)),
+                group_id=int(entry["group"]),
+            )
+        )
+    if not queues:
+        raise ConfigurationError("topology declares no work queues")
+    return Topology(groups=tuple(groups), work_queues=tuple(queues))
+
+
+def apply_topology(device: DsaDevice, source: str | Path | dict) -> Topology:
+    """Load and apply a topology to *device*; returns the parsed form.
+
+    Application is transactional in spirit: the topology is fully parsed
+    and validated before the first device mutation, so a malformed
+    document never half-configures the device.  (Hardware-limit
+    violations — engine double-binding, queue storage exhaustion — still
+    surface from the device itself.)
+    """
+    topology = load_topology(source)
+    for group_id, engines in topology.groups:
+        device.configure_group(group_id, engines)
+    for config in topology.work_queues:
+        device.configure_wq(config)
+    return topology
+
+
+def dump_topology(device: DsaDevice) -> dict:
+    """The inverse: serialize a device's live topology to the schema."""
+    groups = [
+        {"id": group.group_id, "engines": list(group.engine_ids)}
+        for group in device.groups()
+    ]
+    queues = [
+        {
+            "id": queue.wq_id,
+            "size": queue.config.size,
+            "mode": queue.config.mode.value,
+            "priority": queue.config.priority,
+            "group": queue.config.group_id,
+        }
+        for queue in device.queue_space.queues()
+    ]
+    return {"groups": groups, "work_queues": queues}

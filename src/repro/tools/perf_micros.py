@@ -1,0 +1,206 @@
+"""A ``dsa-perf-micros`` equivalent for the device model.
+
+Intel ships `dsa-perf-micros` to characterize DSA throughput/latency per
+opcode, transfer size, batch size, and queue depth; the paper uses it as
+the baseline harness of its mitigation study.  This module provides the
+same sweeps against the model, returning structured results that the
+mitigation and ablation benchmarks can consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.dsa.batch import write_batch_list
+from repro.dsa.descriptor import BatchDescriptor, Descriptor, make_memcpy
+from repro.dsa.opcodes import Opcode
+from repro.virt.process import GuestProcess
+
+
+@dataclass(frozen=True)
+class MicroResult:
+    """One sweep cell."""
+
+    opcode: Opcode
+    size_bytes: int
+    batch_size: int
+    queue_depth: int
+    mean_latency_cycles: float
+    throughput_gbps: float
+    ops_per_second: float
+
+
+class PerfMicros:
+    """Microbenchmark driver bound to one process/queue."""
+
+    def __init__(self, process: GuestProcess, wq_id: int = 0) -> None:
+        self.process = process
+        self.portal = process.portal(wq_id)
+        self.wq_id = wq_id
+        self._comp = process.comp_record()
+
+    # ------------------------------------------------------------------
+    # Descriptor factories
+    # ------------------------------------------------------------------
+    def _descriptor(self, opcode: Opcode, src: int, dst: int, size: int) -> Descriptor:
+        if opcode is Opcode.MEMMOVE:
+            return make_memcpy(self.process.pasid, src, dst, size, self._comp)
+        if opcode is Opcode.FILL:
+            return Descriptor(
+                opcode=Opcode.FILL, pasid=self.process.pasid, src=0xA5, dst=dst,
+                size=size, completion_addr=self._comp,
+            )
+        if opcode in (Opcode.COMPARE, Opcode.COMPVAL):
+            return Descriptor(
+                opcode=opcode, pasid=self.process.pasid, src=src, dst=dst,
+                size=size, completion_addr=self._comp,
+            )
+        if opcode is Opcode.CRCGEN:
+            return Descriptor(
+                opcode=Opcode.CRCGEN, pasid=self.process.pasid, src=src,
+                size=size, completion_addr=self._comp,
+            )
+        if opcode is Opcode.DUALCAST:
+            return Descriptor(
+                opcode=Opcode.DUALCAST, pasid=self.process.pasid, src=src, dst=dst,
+                dst2=dst + size, size=size, completion_addr=self._comp,
+            )
+        raise ValueError(f"unsupported microbenchmark opcode {opcode}")
+
+    # ------------------------------------------------------------------
+    # Sweeps
+    # ------------------------------------------------------------------
+    def latency(
+        self, opcode: Opcode, size: int, iterations: int = 50
+    ) -> MicroResult:
+        """Synchronous submit/poll latency for one (opcode, size)."""
+        src = self.process.buffer(max(2 * size, 4096))
+        dst = self.process.buffer(max(2 * size, 4096))
+        descriptor = self._descriptor(opcode, src, dst, size)
+        clock = self.portal.clock
+        self.portal.submit_wait(descriptor)  # warm-up
+        latencies = np.empty(iterations)
+        started = clock.now
+        for i in range(iterations):
+            latencies[i] = self.portal.submit_wait(descriptor).latency_cycles
+        elapsed = clock.now - started
+        seconds = elapsed / clock.freq_hz
+        return MicroResult(
+            opcode=opcode,
+            size_bytes=size,
+            batch_size=1,
+            queue_depth=1,
+            mean_latency_cycles=float(latencies.mean()),
+            throughput_gbps=size * iterations / seconds / 1e9,
+            ops_per_second=iterations / seconds,
+        )
+
+    def queue_depth_throughput(
+        self, size: int, depth: int, iterations: int = 50
+    ) -> MicroResult:
+        """Async memcpy throughput with *depth* outstanding submissions."""
+        if depth < 1:
+            raise ValueError("queue depth must be at least 1")
+        src = self.process.buffer(max(2 * size, 4096))
+        dst = self.process.buffer(max(2 * size, 4096))
+        descriptor = make_memcpy(self.process.pasid, src, dst, size, self._comp)
+        clock = self.portal.clock
+        started = clock.now
+        inflight: list = []
+        completed = 0
+        for _ in range(iterations):
+            while len(inflight) >= depth:
+                self.portal.wait(inflight.pop(0))
+                completed += 1
+            if self.portal.enqcmd(descriptor):
+                # Full queue: drain one and retry once.
+                if inflight:
+                    self.portal.wait(inflight.pop(0))
+                    completed += 1
+                if self.portal.enqcmd(descriptor):
+                    continue
+            inflight.append(self.portal.last_ticket)
+        while inflight:
+            self.portal.wait(inflight.pop(0))
+            completed += 1
+        seconds = (clock.now - started) / clock.freq_hz
+        return MicroResult(
+            opcode=Opcode.MEMMOVE,
+            size_bytes=size,
+            batch_size=1,
+            queue_depth=depth,
+            mean_latency_cycles=float("nan"),
+            throughput_gbps=size * completed / seconds / 1e9,
+            ops_per_second=completed / seconds,
+        )
+
+    def batch_throughput(
+        self, size: int, batch_size: int, batches: int = 10
+    ) -> MicroResult:
+        """Batched memcpy throughput (one BATCH per *batch_size* copies)."""
+        if batch_size < 1:
+            raise ValueError("batch size must be at least 1")
+        src = self.process.buffer(max(2 * size, 4096))
+        dst = self.process.buffer(max(2 * size, 4096))
+        list_addr = self.process.buffer(max(64 * batch_size, 4096))
+        children = [
+            make_memcpy(self.process.pasid, src, dst, size, self.process.comp_record())
+            for _ in range(batch_size)
+        ]
+        write_batch_list(self.process.space, list_addr, children)
+        batch = BatchDescriptor(
+            pasid=self.process.pasid, desc_list_addr=list_addr, count=batch_size,
+            completion_addr=self._comp,
+        )
+        clock = self.portal.clock
+        started = clock.now
+        for _ in range(batches):
+            ticket = self.portal.submit(batch)
+            self.portal.wait(ticket)
+        seconds = (clock.now - started) / clock.freq_hz
+        total_ops = batches * batch_size
+        return MicroResult(
+            opcode=Opcode.BATCH,
+            size_bytes=size,
+            batch_size=batch_size,
+            queue_depth=1,
+            mean_latency_cycles=float("nan"),
+            throughput_gbps=size * total_ops / seconds / 1e9,
+            ops_per_second=total_ops / seconds,
+        )
+
+    def sweep(
+        self,
+        opcodes: tuple[Opcode, ...] = (Opcode.MEMMOVE, Opcode.FILL, Opcode.COMPARE, Opcode.CRCGEN),
+        sizes: tuple[int, ...] = (256, 4096, 65536),
+        iterations: int = 30,
+    ) -> list[MicroResult]:
+        """The default characterization sweep."""
+        return [
+            self.latency(opcode, size, iterations=iterations)
+            for opcode in opcodes
+            for size in sizes
+        ]
+
+
+def format_results(results: list[MicroResult]) -> str:
+    """Text table of sweep results."""
+    rows = [
+        [
+            r.opcode.name,
+            r.size_bytes,
+            r.batch_size,
+            r.queue_depth,
+            "-" if np.isnan(r.mean_latency_cycles) else f"{r.mean_latency_cycles:.0f}",
+            f"{r.throughput_gbps:.3f}",
+            f"{r.ops_per_second:,.0f}",
+        ]
+        for r in results
+    ]
+    return format_table(
+        ["opcode", "size (B)", "batch", "depth", "latency (cyc)", "GB/s", "ops/s"],
+        rows,
+    )

@@ -1,0 +1,20 @@
+"""Virtualization substrate.
+
+Models the cloud host of the paper's threat model (Section V-A, Fig. 7):
+virtual machines whose guest processes reach the DSA through scalable-IOV
+portal mappings, with PASID-tagged isolation enforced everywhere *except*
+the DevTLB and SWQ leaks under study.
+"""
+
+from repro.virt.process import GuestProcess
+from repro.virt.scheduler import Timeline
+from repro.virt.system import AttackTopology, CloudSystem
+from repro.virt.vm import VirtualMachine
+
+__all__ = [
+    "AttackTopology",
+    "CloudSystem",
+    "GuestProcess",
+    "Timeline",
+    "VirtualMachine",
+]

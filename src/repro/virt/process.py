@@ -1,0 +1,57 @@
+"""Guest processes.
+
+A guest process owns an address space inside its VM and may open the DSA,
+which assigns it a PASID (the SVM path: no IOVA mapping, the device walks
+the process page table) and maps a work-queue portal into its address
+space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dsa.portal import Portal
+from repro.errors import ConfigurationError
+from repro.hw.pagetable import AddressSpace
+from repro.hw.units import PAGE_SIZE
+
+
+@dataclass
+class GuestProcess:
+    """One process inside a VM.
+
+    Created through :meth:`repro.virt.vm.VirtualMachine.spawn_process`;
+    portals are opened through the hypervisor so PASID assignment and
+    binding happen in one place.
+    """
+
+    name: str
+    vm_name: str
+    space: AddressSpace
+    pasid: int
+    portals: dict[int, Portal] = field(default_factory=dict)
+
+    def portal(self, wq_id: int = 0) -> Portal:
+        """The portal this process opened for *wq_id*."""
+        portal = self.portals.get(wq_id)
+        if portal is None:
+            raise ConfigurationError(
+                f"process {self.name!r} has not opened WQ {wq_id}"
+            )
+        return portal
+
+    def buffer(self, size: int = PAGE_SIZE, huge: bool = False) -> int:
+        """Map a fresh zeroed buffer and return its virtual address."""
+        return self.space.mmap(size, huge=huge)
+
+    def comp_record(self) -> int:
+        """Map a page usable as a completion-record target."""
+        return self.space.mmap(PAGE_SIZE)
+
+    def write(self, va: int, data: bytes) -> None:
+        """Write into the process's memory."""
+        self.space.write(va, data)
+
+    def read(self, va: int, size: int) -> bytes:
+        """Read from the process's memory."""
+        return self.space.read(va, size)

@@ -1,0 +1,93 @@
+"""Deterministic multi-actor timeline.
+
+Attacker and victim run on different CPU cores (the attacks need no
+core co-location), so their actions interleave only through the shared
+device and the shared wall clock.  :class:`Timeline` provides that
+interleaving deterministically: victim-side actions are scheduled at
+absolute timestamps, and the attacker's sampling loop calls
+:meth:`Timeline.run_until` before each of its own actions so that
+everything the victim "did in the meantime" is applied in order.
+
+An action that falls due while another actor holds the clock (e.g. during
+a long probe) is applied as soon as the clock is next consulted — the same
+behavior as a process being scheduled slightly late.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.hw.clock import TscClock
+from repro.hw.units import us_to_cycles
+
+Action = Callable[[], None]
+
+
+@dataclass(order=True)
+class _Event:
+    time: int
+    sequence: int
+    action: Action = field(compare=False)
+
+
+class Timeline:
+    """A time-ordered queue of victim/background actions."""
+
+    def __init__(self, clock: TscClock) -> None:
+        self.clock = clock
+        self._heap: list[_Event] = []
+        self._sequence = 0
+        self.executed = 0
+
+    def schedule_at(self, time: int, action: Action) -> None:
+        """Run *action* when the timeline reaches absolute cycle *time*."""
+        heapq.heappush(self._heap, _Event(time=int(time), sequence=self._sequence, action=action))
+        self._sequence += 1
+
+    def schedule_after(self, delay_cycles: int, action: Action) -> None:
+        """Run *action* ``delay_cycles`` after the current clock."""
+        self.schedule_at(self.clock.now + delay_cycles, action)
+
+    def schedule_after_us(self, delay_us: float, action: Action) -> None:
+        """Run *action* ``delay_us`` microseconds from now."""
+        self.schedule_after(us_to_cycles(delay_us), action)
+
+    def run_until(self, time: int) -> int:
+        """Execute every action due at or before *time*, in order.
+
+        The clock is advanced to each event's timestamp before its action
+        runs (never backwards).  Returns the number of actions executed.
+        """
+        executed = 0
+        while self._heap and self._heap[0].time <= time:
+            event = heapq.heappop(self._heap)
+            self.clock.advance_to(event.time)
+            event.action()
+            executed += 1
+        self.executed += executed
+        return executed
+
+    def idle_until(self, time: int) -> None:
+        """Idle (the attacker's step-2 wait): run due actions, then park
+        the clock at *time*."""
+        self.run_until(time)
+        self.clock.advance_to(time)
+
+    def idle_for_us(self, delay_us: float) -> None:
+        """Idle for a relative window."""
+        self.idle_until(self.clock.now + us_to_cycles(delay_us))
+
+    @property
+    def pending(self) -> int:
+        """Actions not yet executed."""
+        return len(self._heap)
+
+    def next_event_time(self) -> int | None:
+        """Timestamp of the next pending action, or ``None``."""
+        return self._heap[0].time if self._heap else None
+
+    def clear(self) -> None:
+        """Drop all pending actions."""
+        self._heap.clear()

@@ -1,0 +1,43 @@
+"""Virtual machines.
+
+A VM is an isolation domain: its processes have private address spaces
+(no shared memory with other VMs) and communicate with the outside world
+only through the devices the hypervisor exposes.  The attacks in this
+library are interesting precisely because they cross this boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.virt.process import GuestProcess
+
+if TYPE_CHECKING:
+    from repro.virt.system import CloudSystem
+
+
+@dataclass
+class VirtualMachine:
+    """One guest VM on the cloud host."""
+
+    name: str
+    system: "CloudSystem"
+    base_va: int
+    processes: dict[str, GuestProcess] = field(default_factory=dict)
+
+    def spawn_process(self, name: str) -> GuestProcess:
+        """Create a guest process with a fresh address space."""
+        if name in self.processes:
+            raise ConfigurationError(f"VM {self.name!r} already runs {name!r}")
+        process = self.system._create_process(self, name)
+        self.processes[name] = process
+        return process
+
+    def process(self, name: str) -> GuestProcess:
+        """Look up a process by name."""
+        process = self.processes.get(name)
+        if process is None:
+            raise ConfigurationError(f"VM {self.name!r} has no process {name!r}")
+        return process

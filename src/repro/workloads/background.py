@@ -1,0 +1,98 @@
+"""Background tenant activity.
+
+A realistic cloud host never gives an attacker a silent DSA: other
+tenants submit their own work.  :class:`BackgroundTenant` generates that
+interference mechanistically — Poisson-arrival bursts of memcpy traffic
+from an unrelated process — so robustness experiments can measure how
+the attacks degrade as co-tenant load grows, rather than assuming an
+error rate.
+
+For the DevTLB primitive, background submissions on the shared engine
+evict the attacker's sub-entry exactly like victim activity does (false
+positives the attacker must filter); for the SWQ primitive they consume
+armed slots (false positives) and occasionally block the victim's own
+submissions (false negatives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsa.descriptor import make_memcpy
+from repro.hw.units import us_to_cycles
+from repro.virt.process import GuestProcess
+from repro.virt.scheduler import Timeline
+
+
+@dataclass(frozen=True)
+class BackgroundProfile:
+    """Load shape of one background tenant.
+
+    ``burst_rate_hz`` bursts arrive per second (Poisson); each burst is
+    ``burst_length`` submissions of ``transfer_bytes`` spaced
+    ``intra_burst_us`` apart.
+    """
+
+    burst_rate_hz: float = 50.0
+    burst_length: int = 4
+    transfer_bytes: int = 16_384
+    intra_burst_us: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.burst_rate_hz <= 0:
+            raise ValueError("burst_rate_hz must be positive")
+        if self.burst_length < 1:
+            raise ValueError("burst_length must be at least 1")
+        if self.transfer_bytes < 1:
+            raise ValueError("transfer_bytes must be positive")
+
+
+class BackgroundTenant:
+    """An unrelated process generating DSA load."""
+
+    def __init__(
+        self,
+        process: GuestProcess,
+        wq_id: int,
+        profile: BackgroundProfile | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.process = process
+        self.portal = process.portal(wq_id)
+        self.profile = profile or BackgroundProfile()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        size = max(self.profile.transfer_bytes, 4096)
+        self._src = process.buffer(2 * size)
+        self._dst = process.buffer(2 * size)
+        self._comp = process.comp_record()
+        self.submissions = 0
+        self.rejected = 0
+
+    def _submit_once(self) -> None:
+        descriptor = make_memcpy(
+            self.process.pasid,
+            self._src,
+            self._dst,
+            self.profile.transfer_bytes,
+            self._comp,
+        )
+        if self.portal.enqcmd(descriptor):
+            self.rejected += 1
+        else:
+            self.submissions += 1
+
+    def schedule(self, timeline: Timeline, start_time: int, duration_us: float) -> int:
+        """Schedule *duration_us* of background load; return burst count."""
+        profile = self.profile
+        mean_gap_us = 1_000_000.0 / profile.burst_rate_hz
+        t = float(self.rng.exponential(mean_gap_us))
+        bursts = 0
+        while t < duration_us:
+            for k in range(profile.burst_length):
+                when = start_time + us_to_cycles(t + k * profile.intra_burst_us)
+                timeline.schedule_at(when, self._submit_once)
+            bursts += 1
+            t += float(self.rng.exponential(mean_gap_us))
+        return bursts

@@ -1,0 +1,153 @@
+"""DSA Transparent Offload (DTO).
+
+Intel's DTO library uses the runtime linker to intercept the standard
+memory functions of *unmodified* applications and offload calls above a
+size threshold (``DTO_MIN_BYTES``) to DSA; smaller calls stay on the CPU.
+The paper's keystroke and LLM attacks observe exactly these offloaded
+calls, and its Fig. 12 filter drops events below the DTO byte threshold.
+
+:class:`DtoRuntime` is that shim for one victim process: ``memcpy`` /
+``memset`` / ``memcmp`` route to the process's DSA portal when large
+enough.  Submissions are asynchronous with bounded retry on a full queue
+(the behavior that makes victims visible to the SWQ primitive without
+hanging them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dsa.descriptor import Descriptor, make_memcmp, make_memcpy
+from repro.dsa.opcodes import Opcode
+from repro.virt.process import GuestProcess
+
+#: Default offload threshold (bytes); calls below it run on the CPU.
+DTO_MIN_BYTES = 8192
+
+#: Cycles per byte for the CPU fallback path (~60 GB/s single-core copy).
+CPU_CYCLES_PER_BYTE = 1.0 / 30.0
+
+#: Fixed CPU cost of a small mem* call.
+CPU_CALL_CYCLES = 120
+
+
+@dataclass
+class DtoStats:
+    """What the shim did."""
+
+    offloaded_calls: int = 0
+    offloaded_bytes: int = 0
+    cpu_calls: int = 0
+    cpu_bytes: int = 0
+    dropped_submissions: int = 0
+    offload_timestamps: list[int] = field(default_factory=list)
+
+
+class DtoRuntime:
+    """The transparent-offload shim of one victim process.
+
+    Parameters
+    ----------
+    process:
+        The victim (must have opened *wq_id*).
+    wq_id:
+        The work queue DTO submits through.
+    min_bytes:
+        Offload threshold; the real library reads it from
+        ``DTO_MIN_BYTES`` in the environment.
+    retries:
+        How many times a full-queue submission is retried before the
+        shim falls back to the CPU path.
+    """
+
+    def __init__(
+        self,
+        process: GuestProcess,
+        wq_id: int = 0,
+        min_bytes: int = DTO_MIN_BYTES,
+        retries: int = 2,
+        retry_backoff_cycles: int = 1500,
+    ) -> None:
+        if min_bytes < 1:
+            raise ValueError("min_bytes must be positive")
+        self.process = process
+        self.portal = process.portal(wq_id)
+        self.min_bytes = min_bytes
+        self.retries = retries
+        self.retry_backoff_cycles = retry_backoff_cycles
+        self.stats = DtoStats()
+        self._comp = process.comp_record()
+
+    # ------------------------------------------------------------------
+    # Intercepted entry points
+    # ------------------------------------------------------------------
+    def memcpy(self, dst: int, src: int, size: int) -> None:
+        """``memcpy`` — offloaded to a MEMMOVE descriptor when large."""
+        offloaded = size >= self.min_bytes and (
+            self._offload(
+                make_memcpy(self.process.pasid, src, dst, size, self._comp), size
+            )
+            is not None
+        )
+        if not offloaded:
+            self._cpu_fallback(size)
+            self.process.space.write(dst, self.process.space.read(src, size))
+
+    def memset(self, dst: int, value: int, size: int) -> None:
+        """``memset`` — offloaded to a FILL descriptor when large."""
+        offloaded = False
+        if size >= self.min_bytes:
+            descriptor = Descriptor(
+                opcode=Opcode.FILL,
+                pasid=self.process.pasid,
+                src=value & 0xFF,
+                dst=dst,
+                size=size,
+                completion_addr=self._comp,
+            )
+            offloaded = self._offload(descriptor, size) is not None
+        if not offloaded:
+            self._cpu_fallback(size)
+            self.process.space.write(dst, bytes([value & 0xFF]) * size)
+
+    def memcmp(self, a: int, b: int, size: int) -> int:
+        """``memcmp`` — offloaded to a COMPVAL descriptor when large.
+
+        Returns 0 on equality, 1 otherwise (sign is not modeled).
+        """
+        if size >= self.min_bytes:
+            descriptor = make_memcmp(self.process.pasid, a, b, size, self._comp)
+            ticket = self._offload(descriptor, size, wait=True)
+            if ticket is not None and ticket.record is not None:
+                return int(ticket.record.result)
+        self._cpu_fallback(size)
+        return 0 if self.process.read(a, size) == self.process.read(b, size) else 1
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _offload(self, descriptor: Descriptor, size: int, wait: bool = False):
+        clock = self.portal.clock
+        ticket = None
+        for attempt in range(self.retries + 1):
+            if not self.portal.enqcmd(descriptor):
+                ticket = self.portal.last_ticket
+                break
+            if attempt < self.retries:
+                clock.advance(self.retry_backoff_cycles)
+                self.portal.device.advance_to(clock.now)
+        if ticket is None:
+            # All retries hit a full queue; the caller degrades to CPU.
+            self.stats.dropped_submissions += 1
+            return None
+        self.stats.offloaded_calls += 1
+        self.stats.offloaded_bytes += size
+        self.stats.offload_timestamps.append(clock.now)
+        if wait:
+            self.portal.wait(ticket)
+        return ticket
+
+    def _cpu_fallback(self, size: int) -> None:
+        self.stats.cpu_calls += 1
+        self.stats.cpu_bytes += size
+        self.portal.clock.advance(CPU_CALL_CYCLES + int(size * CPU_CYCLES_PER_BYTE))

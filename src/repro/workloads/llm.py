@@ -1,0 +1,171 @@
+"""LLM inference workloads (Table II).
+
+Cloud LLM serving moves tensors constantly — activations and KV-cache
+blocks on every token, weight shards at load time (and per expert-swap
+for MoE models).  With DTO in place those moves become DSA submissions,
+and their cadence is a fingerprint of the architecture: token rate falls
+with parameter count, per-token submission count follows layer depth,
+transfer sizes follow the hidden dimension, and backends differ in shape
+(CPU-only streams steadily; CPU-GPU hybrids front-load a big weight
+transfer then stay light; MoE models add irregular expert-swap bursts).
+
+The zoo reproduces Table II: TinyStories 15M/42M/110M (llama2.c,
+CPU-only), Meta LLaMA 2 7B, Gemma 3 1B/4B (single GPU), and Qwen3
+1.7B/4B (dense and MoE).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.units import us_to_cycles
+from repro.virt.scheduler import Timeline
+from repro.workloads.dto import DtoRuntime
+
+
+class LlmBackend(enum.Enum):
+    """Inference runtime type."""
+
+    CPU = "cpu"  # llama2.c style: everything on host memory
+    GPU = "gpu"  # ollama style: weights pushed to the GPU once
+    MOE_GPU = "moe-gpu"  # GPU with expert swapping
+
+
+@dataclass(frozen=True)
+class LlmModel:
+    """One Table II model."""
+
+    name: str
+    parameters_m: int  # millions of parameters
+    layers: int
+    hidden: int
+    backend: LlmBackend
+    tokens_per_second: float
+
+    @property
+    def activation_bytes(self) -> int:
+        """Per-layer activation/KV transfer size (fp32 tiles)."""
+        return self.hidden * 32
+
+    @property
+    def weight_shard_bytes(self) -> int:
+        """Size of one weight shard moved at load / expert swap."""
+        return self.hidden * self.hidden
+
+
+#: Table II, with architecture parameters from the public model cards.
+LLM_ZOO: tuple[LlmModel, ...] = (
+    LlmModel("tinystories-15m", 15, 6, 288, LlmBackend.CPU, 190.0),
+    LlmModel("tinystories-42m", 42, 8, 512, LlmBackend.CPU, 120.0),
+    LlmModel("tinystories-110m", 110, 12, 768, LlmBackend.CPU, 60.0),
+    LlmModel("llama2-7b", 7000, 32, 4096, LlmBackend.CPU, 4.5),
+    LlmModel("gemma3-1b", 1000, 26, 1152, LlmBackend.GPU, 28.0),
+    LlmModel("gemma3-4b", 4000, 34, 2560, LlmBackend.GPU, 12.0),
+    LlmModel("qwen3-1.7b", 1700, 28, 2048, LlmBackend.GPU, 19.0),
+    LlmModel("qwen3-4b-moe", 4000, 36, 2560, LlmBackend.MOE_GPU, 9.0),
+)
+
+
+def model_by_name(name: str) -> LlmModel:
+    """Look up a zoo model."""
+    for model in LLM_ZOO:
+        if model.name == name:
+            return model
+    raise KeyError(f"unknown model {name!r}; zoo has {[m.name for m in LLM_ZOO]}")
+
+
+class LlmInferenceWorkload:
+    """Schedules the DSA activity of one model generating tokens."""
+
+    def __init__(
+        self, dto: DtoRuntime, model: LlmModel, rng: np.random.Generator
+    ) -> None:
+        self.dto = dto
+        self.model = model
+        self.rng = rng
+        process = dto.process
+        pool_bytes = max(model.weight_shard_bytes * 2, 8 << 20)
+        self._pool = process.buffer(pool_bytes)
+        self._pool_bytes = pool_bytes
+        self.tokens_scheduled = 0
+
+    def schedule_inference(
+        self, timeline: Timeline, start_time: int, duration_us: float
+    ) -> int:
+        """Schedule *duration_us* of token generation; return token count."""
+        model = self.model
+        rng = self.rng
+        if model.backend in (LlmBackend.GPU, LlmBackend.MOE_GPU):
+            self._schedule_weight_load(timeline, start_time)
+
+        token_period_us = 1_000_000.0 / model.tokens_per_second
+        t = rng.uniform(0.3, 1.0) * token_period_us
+        tokens = 0
+        while t < duration_us:
+            self._schedule_token(
+                timeline, start_time + us_to_cycles(t), token_period_us
+            )
+            tokens += 1
+            t += token_period_us * rng.uniform(0.88, 1.12)
+            if model.backend is LlmBackend.MOE_GPU and tokens % 12 == 0:
+                self._schedule_expert_swap(timeline, start_time + us_to_cycles(t))
+        self.tokens_scheduled += tokens
+        return tokens
+
+    # ------------------------------------------------------------------
+    # Activity shapes
+    # ------------------------------------------------------------------
+    def _schedule_token(
+        self, timeline: Timeline, when: int, token_period_us: float
+    ) -> None:
+        """One token: activation/KV copies paced layer by layer.
+
+        CPU backends stream the host-resident layer stack, producing one
+        copy per few layers spread across most of the token period; GPU
+        backends only sync boundary activations in a short leading burst.
+        The copies-per-token count and their pacing are what make layer
+        depth visible in the side-channel trace.
+        """
+        model = self.model
+        if model.backend is LlmBackend.CPU:
+            copies = max(model.layers // 3, 2)
+            spread_us = token_period_us * 0.6
+        else:
+            copies = max(model.layers // 8, 2)
+            spread_us = token_period_us * 0.25
+        size = model.activation_bytes
+        for i in range(copies):
+            offset = (i * 2 * size) % (self._pool_bytes - 2 * size)
+            timeline.schedule_at(
+                when + us_to_cycles(spread_us * i / copies),
+                lambda offset=offset, size=size: self.dto.memcpy(
+                    self._pool + offset + size, self._pool + offset, size
+                ),
+            )
+
+    def _schedule_weight_load(self, timeline: Timeline, start_time: int) -> None:
+        """The initial weight push to the GPU: a dense burst of shards."""
+        model = self.model
+        shard = min(model.weight_shard_bytes, self._pool_bytes // 2 - 1)
+        shards = min(model.layers, 24)
+        for i in range(shards):
+            timeline.schedule_at(
+                start_time + us_to_cycles(150.0 * i),
+                lambda shard=shard: self.dto.memcpy(
+                    self._pool + shard, self._pool, shard
+                ),
+            )
+
+    def _schedule_expert_swap(self, timeline: Timeline, when: int) -> None:
+        """MoE expert page-in: a mid-sized burst at irregular intervals."""
+        shard = min(self.model.weight_shard_bytes // 4, self._pool_bytes // 2 - 1)
+        for i in range(4):
+            timeline.schedule_at(
+                when + us_to_cycles(120.0 * i),
+                lambda shard=shard: self.dto.memcpy(
+                    self._pool + shard, self._pool, shard
+                ),
+            )

@@ -1,0 +1,99 @@
+"""SSH keystroke sessions under DTO.
+
+When a user types over SSH, each keystroke makes the client emit one
+small packet immediately (interactive mode sends per keypress), and the
+OpenSSH code paths invoke ``mem*`` routines on the connection buffers.
+With DTO enabled, the buffer operations above ``DTO_MIN_BYTES`` land on
+the DSA — so every keystroke produces a tight cluster of DSA submissions
+whose *timing* is the secret the attack recovers (Section VI-C).
+
+Inter-keystroke delays follow a log-normal distribution (the standard
+model from the SSH timing-attack literature), parameterized per typist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.units import us_to_cycles
+from repro.virt.scheduler import Timeline
+from repro.workloads.dto import DtoRuntime
+
+#: Buffer sizes OpenSSH's channel/packet layer touches per keypress; the
+#: ones >= DTO_MIN_BYTES are what DTO offloads.
+KEYSTROKE_BUFFER_SIZES = (16_384, 9_216)
+
+#: Log-normal inter-key delay parameters (median ~160 ms, heavy tail).
+DEFAULT_LOG_MEAN = np.log(0.160)
+DEFAULT_LOG_SIGMA = 0.45
+
+
+@dataclass(frozen=True)
+class KeystrokeEvent:
+    """Ground truth for one keypress."""
+
+    index: int
+    character: str
+    time_us: float
+
+
+class SshKeystrokeSession:
+    """A victim typing over SSH with DTO-accelerated packet handling.
+
+    Parameters
+    ----------
+    dto:
+        The victim's DTO runtime (owns the portal).
+    rng:
+        Generator for typing cadence.
+    log_mean, log_sigma:
+        Log-normal parameters of the inter-key delay in seconds.
+    """
+
+    def __init__(
+        self,
+        dto: DtoRuntime,
+        rng: np.random.Generator,
+        log_mean: float = DEFAULT_LOG_MEAN,
+        log_sigma: float = DEFAULT_LOG_SIGMA,
+    ) -> None:
+        self.dto = dto
+        self.rng = rng
+        self.log_mean = log_mean
+        self.log_sigma = log_sigma
+        process = dto.process
+        self._buffers = [process.buffer(size * 2) for size in KEYSTROKE_BUFFER_SIZES]
+
+    def keystroke_times(self, text: str, start_us: float = 0.0) -> list[KeystrokeEvent]:
+        """Draw the ground-truth timing of typing *text*."""
+        events = []
+        t = start_us
+        for index, character in enumerate(text):
+            delay_s = float(self.rng.lognormal(self.log_mean, self.log_sigma))
+            t += delay_s * 1_000_000.0
+            events.append(KeystrokeEvent(index=index, character=character, time_us=t))
+        return events
+
+    def schedule_typing(
+        self, timeline: Timeline, text: str, start_time: int
+    ) -> list[KeystrokeEvent]:
+        """Schedule the DSA activity of typing *text*; return ground truth.
+
+        Each keystroke triggers the OpenSSH buffer operations: one DTO
+        memcpy per buffer in :data:`KEYSTROKE_BUFFER_SIZES` (the packet
+        path touches the channel buffer and the cipher staging buffer).
+        """
+        events = self.keystroke_times(text)
+        dto = self.dto
+        for event in events:
+            when = start_time + us_to_cycles(event.time_us)
+            for buffer, size in zip(self._buffers, KEYSTROKE_BUFFER_SIZES):
+                timeline.schedule_at(
+                    when,
+                    lambda buffer=buffer, size=size: dto.memcpy(
+                        buffer + size, buffer, size
+                    ),
+                )
+        return events

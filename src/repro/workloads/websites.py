@@ -1,0 +1,148 @@
+"""Synthetic per-website traffic signatures.
+
+The paper fingerprints the Alexa top-100 websites loaded in headless
+Chrome through a VPP/memif path.  Without network access, we substitute a
+generative traffic model: every site gets a *deterministic signature* —
+how many request waves a page load issues, when they fire, how many
+objects each wave fetches, and the object size distribution — and every
+*visit* draws jittered packet events from that signature.  Different
+visits to one site therefore look alike but never identical, and sites
+whose parameters land close together genuinely confuse the classifier
+(the paper sees the same for e.g. canva.com vs. notion.com).
+
+The signature parameters are drawn from ranges measured in published page
+-load studies (a few hundred KB to a few MB across 10-100 objects over
+0.5-1 s), which is the level of fidelity the attack actually senses:
+per-slot DSA activity counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.vpp import PacketEvent
+
+#: MTU-sized payload of a full packet.
+MTU_BYTES = 1500
+
+#: Canonical top-100 site list (Alexa-style), fixed for reproducibility.
+TOP_100_SITES = [
+    "google.com", "youtube.com", "facebook.com", "baidu.com", "wikipedia.org",
+    "reddit.com", "yahoo.com", "amazon.com", "twitter.com", "instagram.com",
+    "linkedin.com", "netflix.com", "office.com", "twitch.tv", "ebay.com",
+    "bing.com", "live.com", "microsoft.com", "pinterest.com", "wordpress.com",
+    "apple.com", "adobe.com", "tumblr.com", "imgur.com", "stackoverflow.com",
+    "github.com", "whatsapp.com", "canva.com", "notion.com", "quora.com",
+    "paypal.com", "salesforce.com", "dropbox.com", "spotify.com", "soundcloud.com",
+    "vimeo.com", "flickr.com", "medium.com", "nytimes.com", "cnn.com",
+    "bbc.com", "theguardian.com", "forbes.com", "bloomberg.com", "reuters.com",
+    "walmart.com", "target.com", "bestbuy.com", "etsy.com", "aliexpress.com",
+    "taobao.com", "jd.com", "tmall.com", "qq.com", "sohu.com",
+    "sina.com.cn", "weibo.com", "163.com", "zoom.us", "slack.com",
+    "atlassian.com", "trello.com", "figma.com", "airbnb.com", "booking.com",
+    "expedia.com", "tripadvisor.com", "uber.com", "lyft.com", "doordash.com",
+    "grubhub.com", "instacart.com", "zillow.com", "redfin.com", "indeed.com",
+    "glassdoor.com", "monster.com", "coursera.org", "udemy.com", "edx.org",
+    "khanacademy.org", "duolingo.com", "openai.com", "anthropic.com", "kaggle.com",
+    "arxiv.org", "nature.com", "sciencedirect.com", "ieee.org", "acm.org",
+    "espn.com", "nba.com", "fifa.com", "steamcommunity.com", "epicgames.com",
+    "roblox.com", "minecraft.net", "discord.com", "telegram.org", "signal.org",
+]
+
+
+@dataclass(frozen=True)
+class RequestWave:
+    """One burst of object fetches during a page load."""
+
+    start_us: float
+    objects: int
+    mean_object_bytes: float
+    spread_us: float
+
+
+@dataclass(frozen=True)
+class WebsiteProfile:
+    """The deterministic signature of one site."""
+
+    name: str
+    waves: tuple[RequestWave, ...]
+    keepalive_period_us: float
+    total_duration_us: float = 1_000_000.0
+    visit_time_jitter: float = 0.08
+    visit_size_jitter: float = 0.20
+    object_drop_probability: float = 0.06
+
+    @classmethod
+    def from_name(cls, name: str) -> "WebsiteProfile":
+        """Derive the signature deterministically from the domain name."""
+        digest = hashlib.sha256(name.encode()).digest()
+        rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+        wave_count = int(rng.integers(2, 6))
+        waves = []
+        cursor = float(rng.uniform(5_000, 60_000))
+        for _ in range(wave_count):
+            waves.append(
+                RequestWave(
+                    start_us=cursor,
+                    objects=int(rng.integers(4, 45)),
+                    mean_object_bytes=float(rng.uniform(3_000, 90_000)),
+                    spread_us=float(rng.uniform(8_000, 90_000)),
+                )
+            )
+            cursor += float(rng.uniform(60_000, 280_000))
+        return cls(
+            name=name,
+            waves=tuple(waves),
+            keepalive_period_us=float(rng.uniform(90_000, 400_000)),
+        )
+
+    def generate_visit(self, rng: np.random.Generator) -> list[PacketEvent]:
+        """One page load: jittered packet events drawn from the signature."""
+        events: list[PacketEvent] = []
+        for wave in self.waves:
+            wave_start = wave.start_us * (
+                1.0 + rng.normal(0.0, self.visit_time_jitter)
+            )
+            for _ in range(wave.objects):
+                if rng.random() < self.object_drop_probability:
+                    continue  # cached or deferred object
+                size = max(
+                    400.0,
+                    wave.mean_object_bytes
+                    * (1.0 + rng.normal(0.0, self.visit_size_jitter)),
+                )
+                offset = rng.uniform(0.0, wave.spread_us)
+                self._emit_object(events, wave_start + offset, size, rng)
+        # Keep-alive / telemetry packets through the whole trace.
+        t = rng.uniform(0.0, self.keepalive_period_us)
+        while t < self.total_duration_us:
+            events.append(PacketEvent(time_us=t, size_bytes=MTU_BYTES))
+            t += self.keepalive_period_us * rng.uniform(0.8, 1.2)
+        events.sort(key=lambda e: e.time_us)
+        return [e for e in events if e.time_us < self.total_duration_us]
+
+    @staticmethod
+    def _emit_object(
+        events: list[PacketEvent],
+        start_us: float,
+        size_bytes: float,
+        rng: np.random.Generator,
+    ) -> None:
+        """Split one HTTP object into MTU packets pacing at link speed."""
+        remaining = int(size_bytes)
+        t = max(start_us, 0.0)
+        while remaining > 0:
+            payload = min(remaining, MTU_BYTES)
+            events.append(PacketEvent(time_us=t, size_bytes=payload))
+            remaining -= payload
+            t += float(rng.uniform(8.0, 30.0))  # ~0.5-1.5 Gbit/s pacing
+
+
+def top_sites(count: int = 100) -> list[WebsiteProfile]:
+    """The first *count* profiles of the canonical top-100 list."""
+    if not 1 <= count <= len(TOP_100_SITES):
+        raise ValueError(f"count must be in [1, {len(TOP_100_SITES)}], got {count}")
+    return [WebsiteProfile.from_name(name) for name in TOP_100_SITES[:count]]

@@ -1,0 +1,134 @@
+"""Tests for statistics, keystroke evaluation, and reporting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.keystroke_eval import evaluate_keystrokes
+from repro.analysis.reporting import format_histogram, format_series, format_table
+from repro.analysis.stats import confidence_interval_95, geometric_mean, summarize
+from repro.hw.units import DEFAULT_TSC_HZ
+
+
+class TestStats:
+    def test_geometric_mean_basic(self):
+        assert geometric_mean(np.array([1.0, 4.0])) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean(np.array([1.0, 0.0]))
+        with pytest.raises(ValueError):
+            geometric_mean(np.array([]))
+
+    def test_confidence_interval_contains_mean(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10.0, 2.0, size=50)
+        mean, h = confidence_interval_95(samples)
+        assert mean == pytest.approx(samples.mean())
+        assert 0 < h < 2.0
+
+    def test_confidence_interval_needs_samples(self):
+        with pytest.raises(ValueError):
+            confidence_interval_95(np.array([1.0]))
+
+    def test_ci_covers_population_mean_usually(self):
+        rng = np.random.default_rng(1)
+        covered = 0
+        for _ in range(100):
+            samples = rng.normal(5.0, 1.0, size=30)
+            mean, h = confidence_interval_95(samples)
+            covered += (mean - h) <= 5.0 <= (mean + h)
+        assert covered >= 85
+
+    def test_summarize(self):
+        s = summarize(np.array([1.0, 2.0, 3.0]))
+        assert s.mean == pytest.approx(2.0)
+        assert s.median == 2.0
+        assert s.count == 3
+        with pytest.raises(ValueError):
+            summarize(np.array([]))
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_geometric_leq_arithmetic(self, values):
+        values = np.array(values)
+        assert geometric_mean(values) <= values.mean() + 1e-6
+
+
+class TestKeystrokeEvaluation:
+    def _ms(self, *values):
+        return np.array(values, dtype=np.float64) * 1e-3 * DEFAULT_TSC_HZ
+
+    def test_perfect_detection(self):
+        truth = self._ms(100, 300, 500)
+        result = evaluate_keystrokes(truth, truth)
+        assert result.f1 == pytest.approx(1.0)
+        assert result.timestamp_std_ms == pytest.approx(0.0)
+
+    def test_constant_offset_detection(self):
+        truth = self._ms(100, 300, 500)
+        detected = self._ms(102, 302, 502)
+        result = evaluate_keystrokes(truth, detected)
+        assert result.true_positives == 3
+        assert result.timestamp_std_ms == pytest.approx(0.0, abs=1e-6)
+        assert result.timestamp_mae_ms == pytest.approx(2.0)
+
+    def test_missed_and_spurious_events(self):
+        truth = self._ms(100, 300, 500, 700)
+        detected = self._ms(101, 502, 9000)
+        result = evaluate_keystrokes(truth, detected)
+        assert result.true_positives == 2
+        assert result.false_negatives == 2
+        assert result.false_positives == 1
+        assert 0 < result.f1 < 1
+
+    def test_tolerance_window(self):
+        truth = self._ms(100)
+        detected = self._ms(100 + 50)  # outside the default 40 ms window
+        result = evaluate_keystrokes(truth, detected)
+        assert result.true_positives == 0
+        assert result.false_positives == 1
+        assert np.isnan(result.timestamp_std_ms)
+
+    def test_one_detection_matches_one_truth_only(self):
+        truth = self._ms(100, 110)
+        detected = self._ms(105)
+        result = evaluate_keystrokes(truth, detected)
+        assert result.true_positives == 1
+        assert result.false_negatives == 1
+
+    def test_counts_properties(self):
+        truth = self._ms(100, 300)
+        detected = self._ms(100, 300, 900)
+        result = evaluate_keystrokes(truth, detected)
+        assert result.detections == 3
+        assert result.ground_truth == 2
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+
+    def test_format_table_validates(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+        with pytest.raises(ValueError):
+            format_table(["a"], [["1", "2"]])
+
+    def test_format_histogram(self):
+        text = format_histogram(np.array([1.0, 1.0, 2.0, 10.0]), bins=3, label="lat")
+        assert text.startswith("lat")
+        assert "#" in text
+        with pytest.raises(ValueError):
+            format_histogram(np.array([]))
+
+    def test_format_series(self):
+        text = format_series([1, 2], [10, 20], "capacity")
+        assert "capacity" in text
+        with pytest.raises(ValueError):
+            format_series([1], [1, 2], "x")

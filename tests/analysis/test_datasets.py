@@ -1,0 +1,93 @@
+"""Tests for trace-dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.datasets import FORMAT_VERSION, TraceDataset
+
+
+def sample_dataset(samples_per_class=4, slots=20, classes=("a.com", "b.com")):
+    rng = np.random.default_rng(0)
+    traces = rng.poisson(2.0, size=(samples_per_class * len(classes), slots))
+    labels = np.repeat(np.arange(len(classes)), samples_per_class)
+    return TraceDataset(
+        traces=traces,
+        labels=labels,
+        class_names=classes,
+        metadata={"sampler": "devtlb", "period_us": 10.0},
+    )
+
+
+class TestValidation:
+    def test_rank_validated(self):
+        with pytest.raises(ValueError):
+            TraceDataset(np.zeros(5), np.zeros(5), ("x",))
+
+    def test_alignment_validated(self):
+        with pytest.raises(ValueError):
+            TraceDataset(np.zeros((3, 4)), np.zeros(2), ("x",))
+
+    def test_label_range_validated(self):
+        with pytest.raises(ValueError):
+            TraceDataset(np.zeros((2, 4)), np.array([0, 5]), ("x",))
+
+    def test_class_counts(self):
+        dataset = sample_dataset()
+        assert dataset.class_counts() == {"a.com": 4, "b.com": 4}
+        assert dataset.samples == 8
+        assert dataset.slots == 20
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        dataset = sample_dataset()
+        path = tmp_path / "wf.npz"
+        dataset.save(path)
+        loaded = TraceDataset.load(path)
+        assert np.array_equal(loaded.traces, dataset.traces)
+        assert np.array_equal(loaded.labels, dataset.labels)
+        assert loaded.class_names == dataset.class_names
+        assert loaded.metadata == dataset.metadata
+
+    def test_version_checked(self, tmp_path):
+        import json
+
+        dataset = sample_dataset()
+        path = tmp_path / "wf.npz"
+        np.savez_compressed(
+            path,
+            traces=dataset.traces,
+            labels=dataset.labels,
+            class_names=np.array(dataset.class_names, dtype=object),
+            metadata=json.dumps({"format_version": FORMAT_VERSION + 1}),
+        )
+        with pytest.raises(ValueError):
+            TraceDataset.load(path)
+
+
+class TestCombinators:
+    def test_subset_relabels(self):
+        dataset = sample_dataset(classes=("a.com", "b.com", "c.com"))
+        subset = dataset.subset([2, 0])
+        assert subset.class_names == ("c.com", "a.com")
+        assert set(np.unique(subset.labels)) == {0, 1}
+        assert subset.samples == 8
+
+    def test_merge(self):
+        a = sample_dataset()
+        b = sample_dataset()
+        merged = TraceDataset.merge(a, b)
+        assert merged.samples == a.samples + b.samples
+        assert merged.class_names == a.class_names
+
+    def test_merge_mismatched_classes_rejected(self):
+        a = sample_dataset()
+        b = sample_dataset(classes=("x.com", "y.com"))
+        with pytest.raises(ValueError):
+            TraceDataset.merge(a, b)
+
+    def test_merge_mismatched_slots_rejected(self):
+        a = sample_dataset(slots=20)
+        b = sample_dataset(slots=30)
+        with pytest.raises(ValueError):
+            TraceDataset.merge(a, b)

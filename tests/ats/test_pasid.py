@@ -1,0 +1,75 @@
+"""Unit tests for PASID allocation and the PASID table."""
+
+import pytest
+
+from repro.ats.pasid import MAX_PASID, PasidAllocator, PasidTable
+from repro.errors import ConfigurationError
+from repro.hw.memory import PhysicalMemory
+from repro.hw.pagetable import AddressSpace
+
+
+class TestPasidAllocator:
+    def test_allocates_unique_nonzero(self):
+        allocator = PasidAllocator()
+        pasids = {allocator.allocate() for _ in range(100)}
+        assert len(pasids) == 100
+        assert 0 not in pasids
+
+    def test_release_recycles(self):
+        allocator = PasidAllocator()
+        pasid = allocator.allocate()
+        allocator.release(pasid)
+        assert allocator.allocate() == pasid
+
+    def test_release_unallocated_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PasidAllocator().release(5)
+
+    def test_is_live(self):
+        allocator = PasidAllocator()
+        pasid = allocator.allocate()
+        assert allocator.is_live(pasid)
+        allocator.release(pasid)
+        assert not allocator.is_live(pasid)
+
+    def test_live_count(self):
+        allocator = PasidAllocator()
+        a = allocator.allocate()
+        allocator.allocate()
+        assert allocator.live_count == 2
+        allocator.release(a)
+        assert allocator.live_count == 1
+
+    def test_max_pasid_is_20_bit(self):
+        assert MAX_PASID == (1 << 20) - 1
+
+
+class TestPasidTable:
+    @pytest.fixture
+    def space(self):
+        return AddressSpace(PhysicalMemory())
+
+    def test_bind_lookup(self, space):
+        table = PasidTable()
+        table.bind(7, space)
+        assert table.lookup(7) is space
+        assert table.is_bound(7)
+        assert len(table) == 1
+
+    def test_double_bind_rejected(self, space):
+        table = PasidTable()
+        table.bind(7, space)
+        with pytest.raises(ConfigurationError):
+            table.bind(7, space)
+
+    def test_lookup_unbound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PasidTable().lookup(3)
+
+    def test_unbind(self, space):
+        table = PasidTable()
+        table.bind(7, space)
+        table.unbind(7)
+        assert not table.is_bound(7)
+        with pytest.raises(ConfigurationError):
+            table.unbind(7)

@@ -1,0 +1,96 @@
+"""Shared fixtures: a minimal single-host DSA setup.
+
+The virtualization layer (``repro.virt``) provides the full two-VM attack
+topology; these fixtures give lower-level tests a bare device with one
+shared work queue bound to one engine, plus helper factories for
+processes (address space + PASID + portal).
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.dsa.device import DsaDevice, DsaDeviceConfig
+from repro.dsa.portal import Portal
+from repro.dsa.wq import WorkQueueConfig, WqMode
+from repro.hw.clock import TscClock
+from repro.hw.memory import PhysicalMemory
+from repro.hw.pagetable import AddressSpace
+from repro.hw.units import PAGE_SIZE
+
+
+@dataclass
+class Host:
+    """A bare host: memory, clock, rng, and a DSA with WQ 0 -> engine 0."""
+
+    memory: PhysicalMemory
+    clock: TscClock
+    rng: np.random.Generator
+    device: DsaDevice
+    _next_pasid: int = 1
+
+    def new_process(self, wq_id: int = 0, base_va: int = 0x10_0000_0000) -> "Proc":
+        """Create a process with its own address space, PASID, and portal."""
+        space = AddressSpace(self.memory, base_va=base_va)
+        pasid = self._next_pasid
+        self._next_pasid += 1
+        self.device.bind_process(pasid, space)
+        portal = Portal(self.device, wq_id=wq_id, pasid=pasid)
+        return Proc(space=space, pasid=pasid, portal=portal, host=self)
+
+
+@dataclass
+class Proc:
+    """A guest process bound to the device."""
+
+    space: AddressSpace
+    pasid: int
+    portal: Portal
+    host: Host
+
+    def buffer(self, size: int = PAGE_SIZE, huge: bool = False) -> int:
+        """Map a fresh buffer and return its VA."""
+        return self.space.mmap(size, huge=huge)
+
+    def comp_record(self) -> int:
+        """Map a page for a completion record (32-byte aligned by nature)."""
+        return self.space.mmap(PAGE_SIZE)
+
+    def write(self, va: int, data: bytes) -> None:
+        """Write into the process's memory."""
+        self.space.write(va, data)
+
+    def read(self, va: int, size: int) -> bytes:
+        """Read from the process's memory."""
+        return self.space.read(va, size)
+
+
+def build_host(
+    seed: int = 1234,
+    wq_size: int = 16,
+    engine_count: int = 2,
+    config: DsaDeviceConfig | None = None,
+) -> Host:
+    """Construct the standard single-queue test host."""
+    memory = PhysicalMemory(total_bytes=8 * 1024 * 1024 * 1024)
+    clock = TscClock()
+    rng = np.random.default_rng(seed)
+    device = DsaDevice(
+        memory, clock, rng, config or DsaDeviceConfig(engine_count=engine_count)
+    )
+    device.configure_group(0, tuple(range(engine_count))[:1])
+    device.configure_wq(
+        WorkQueueConfig(wq_id=0, size=wq_size, mode=WqMode.SHARED, group_id=0)
+    )
+    return Host(memory=memory, clock=clock, rng=rng, device=device)
+
+
+@pytest.fixture
+def host() -> Host:
+    return build_host()
+
+
+@pytest.fixture
+def proc(host) -> Proc:
+    return host.new_process()

@@ -1,0 +1,167 @@
+"""Integration tests for the two attack primitives across VM boundaries."""
+
+import pytest
+
+from repro.core.devtlb_attack import DsaDevTlbAttack
+from repro.core.swq_attack import DsaSwqAttack
+from repro.dsa.descriptor import make_memcpy, make_noop
+from repro.errors import ConfigurationError
+from repro.hw.units import us_to_cycles
+from repro.virt.system import AttackTopology, CloudSystem
+
+
+def build(topology=AttackTopology.E1_SEPARATE_WQ_SHARED_ENGINE, seed=3, wq_size=16):
+    system = CloudSystem(seed=seed)
+    handles = system.setup_topology(topology, wq_size=wq_size)
+    return system, handles
+
+
+class TestDevTlbAttack:
+    def test_quiet_windows_read_zero(self):
+        system, handles = build()
+        attack = DsaDevTlbAttack(handles.attacker, wq_id=handles.attacker_wq)
+        attack.calibrate(samples=50)
+        attack.prime()
+        evictions = sum(attack.probe().evicted for _ in range(50))
+        assert evictions == 0
+
+    def test_victim_activity_detected(self):
+        system, handles = build()
+        attack = DsaDevTlbAttack(handles.attacker, wq_id=handles.attacker_wq)
+        attack.calibrate(samples=50)
+        victim = handles.victim
+        v_portal = victim.portal(handles.victim_wq)
+        v_comp = victim.comp_record()
+
+        attack.prime()
+        detected = []
+        for i in range(20):
+            if i % 2 == 0:
+                v_portal.submit_wait(make_noop(victim.pasid, v_comp))
+            detected.append(attack.probe().evicted)
+        assert detected == [i % 2 == 0 for i in range(20)]
+
+    def test_no_detection_across_engines(self):
+        system, handles = build(AttackTopology.E2_SEPARATE_WQ_SEPARATE_ENGINE)
+        attack = DsaDevTlbAttack(handles.attacker, wq_id=handles.attacker_wq)
+        attack.calibrate(samples=50)
+        victim = handles.victim
+        v_portal = victim.portal(handles.victim_wq)
+        v_comp = victim.comp_record()
+        attack.prime()
+        v_portal.submit_wait(make_noop(victim.pasid, v_comp))
+        assert not attack.probe().evicted
+
+    def test_eviction_rate_bookkeeping(self):
+        system, handles = build()
+        attack = DsaDevTlbAttack(handles.attacker, wq_id=handles.attacker_wq)
+        attack.calibrate(samples=30)
+        attack.prime()
+        attack.probe()
+        assert attack.probes == 1
+        assert attack.eviction_rate in (0.0, 1.0)
+
+    def test_default_threshold_without_calibration(self):
+        system, handles = build()
+        attack = DsaDevTlbAttack(handles.attacker, wq_id=handles.attacker_wq)
+        assert 600 <= attack.threshold <= 900
+        attack.prime()
+        assert not attack.probe().evicted
+
+    def test_victim_memcpy_also_detected(self):
+        """Any victim operation evicts comp (all ops write records)."""
+        system, handles = build()
+        attack = DsaDevTlbAttack(handles.attacker, wq_id=handles.attacker_wq)
+        attack.calibrate(samples=30)
+        victim = handles.victim
+        v_portal = victim.portal(handles.victim_wq)
+        src, dst = victim.buffer(8192), victim.buffer(8192)
+        v_comp = victim.comp_record()
+        attack.prime()
+        v_portal.submit_wait(make_memcpy(victim.pasid, src, dst, 4096, v_comp))
+        assert attack.probe().evicted
+
+
+class TestSwqAttack:
+    def test_requires_min_queue_size(self):
+        system, handles = build(AttackTopology.E0_SHARED_WQ_SHARED_ENGINE, wq_size=2)
+        with pytest.raises(ConfigurationError):
+            DsaSwqAttack(handles.attacker, wq_id=0)
+
+    def test_reads_wq_size_unprivileged(self):
+        system, handles = build(AttackTopology.E0_SHARED_WQ_SHARED_ENGINE, wq_size=16)
+        attack = DsaSwqAttack(handles.attacker, wq_id=0)
+        assert attack.wq_size == 16
+
+    def test_quiet_round_reads_zero(self):
+        system, handles = build(AttackTopology.E0_SHARED_WQ_SHARED_ENGINE)
+        attack = DsaSwqAttack(handles.attacker, wq_id=0, anchor_bytes=1 << 20)
+        result = attack.run_round(idle_cycles=us_to_cycles(20))
+        assert not result.victim_detected
+
+    def test_victim_submission_detected_without_timing(self):
+        system, handles = build(AttackTopology.E0_SHARED_WQ_SHARED_ENGINE)
+        attack = DsaSwqAttack(handles.attacker, wq_id=0, anchor_bytes=1 << 20)
+        victim = handles.victim
+        v_portal = victim.portal(0)
+
+        def victim_submit():
+            from repro.dsa.descriptor import Descriptor
+            from repro.dsa.opcodes import DescriptorFlags, Opcode
+
+            v_portal.enqcmd(
+                Descriptor(
+                    opcode=Opcode.NOOP, pasid=victim.pasid, flags=DescriptorFlags.NONE
+                )
+            )
+
+        # Victim acts in the middle of the attacker's idle window.
+        system.timeline.schedule_after_us(8, victim_submit)
+        result = attack.run_round(idle_cycles=us_to_cycles(20), timeline=system.timeline)
+        assert result.victim_detected
+
+    def test_alternating_bits(self):
+        system, handles = build(AttackTopology.E0_SHARED_WQ_SHARED_ENGINE)
+        attack = DsaSwqAttack(handles.attacker, wq_id=0, anchor_bytes=1 << 20)
+        victim = handles.victim
+        v_portal = victim.portal(0)
+
+        from repro.dsa.descriptor import Descriptor
+        from repro.dsa.opcodes import DescriptorFlags, Opcode
+
+        noop = Descriptor(
+            opcode=Opcode.NOOP, pasid=victim.pasid, flags=DescriptorFlags.NONE
+        )
+        observed = []
+        for bit in [1, 0, 1, 1, 0, 0, 1]:
+            if bit:
+                system.timeline.schedule_after_us(12, lambda: v_portal.enqcmd(noop))
+            result = attack.run_round(
+                idle_cycles=us_to_cycles(25), timeline=system.timeline
+            )
+            observed.append(int(result.victim_detected))
+        assert observed == [1, 0, 1, 1, 0, 0, 1]
+
+    def test_detection_rate_bookkeeping(self):
+        system, handles = build(AttackTopology.E0_SHARED_WQ_SHARED_ENGINE)
+        attack = DsaSwqAttack(handles.attacker, wq_id=0, anchor_bytes=1 << 20)
+        attack.run_round(idle_cycles=us_to_cycles(10))
+        assert attack.rounds == 1
+        assert attack.detection_rate == 0.0
+
+    def test_congest_without_drain_saturates_early(self):
+        """Re-congesting an armed queue flags the round as pre-saturated
+        rather than silently mis-arming."""
+        system, handles = build(AttackTopology.E0_SHARED_WQ_SHARED_ENGINE)
+        attack = DsaSwqAttack(handles.attacker, wq_id=0, anchor_bytes=1 << 20)
+        attack.congest()
+        attack.congest()  # second anchor takes the armed slot
+        assert attack.probe()  # reported as a detection
+
+    def test_congest_on_truly_full_queue_raises(self):
+        system, handles = build(AttackTopology.E0_SHARED_WQ_SHARED_ENGINE, wq_size=4)
+        attack = DsaSwqAttack(handles.attacker, wq_id=0, anchor_bytes=1 << 20)
+        attack.congest()
+        attack.probe()  # fills the last slot
+        with pytest.raises(ConfigurationError):
+            attack.congest()  # anchor itself gets ZF: drain was skipped

@@ -1,0 +1,99 @@
+"""Tests for the probe primitives and threshold calibration."""
+
+import pytest
+
+from repro.core.calibration import calibrate_threshold
+from repro.core.primitives import Prober
+from repro.virt.system import AttackTopology, CloudSystem
+
+
+@pytest.fixture
+def system():
+    system = CloudSystem(seed=7)
+    system.setup_topology(AttackTopology.E0_SHARED_WQ_SHARED_ENGINE)
+    return system
+
+
+@pytest.fixture
+def prober(system):
+    return Prober(system.vms["attacker-vm"].process("attacker"), wq_id=0)
+
+
+class TestProber:
+    def test_probe_noop_latency_positive(self, prober):
+        comp = prober.fresh_comp()
+        result = prober.probe_noop(comp)
+        assert result.latency_cycles > 0
+        assert prober.probes_issued == 1
+
+    def test_repeat_probe_is_faster(self, prober):
+        """Second probe of the same page hits the DevTLB."""
+        comp = prober.fresh_comp()
+        first = prober.probe_noop(comp).latency_cycles
+        second = prober.probe_noop(comp).latency_cycles
+        assert second < first
+
+    def test_memcmp_probe_touches_two_sources(self, prober, system):
+        src = prober.fresh_page()
+        src2 = prober.fresh_page()
+        comp = prober.fresh_comp()
+        prober.probe_memcmp(src, src2, comp)
+        from repro.ats.devtlb import FieldType
+
+        devtlb = system.device.devtlb
+        assert devtlb.cached_pages(0, FieldType.SRC) == [src >> 12]
+        assert devtlb.cached_pages(0, FieldType.SRC2) == [src2 >> 12]
+
+    def test_dualcast_probe_touches_both_destinations(self, prober, system):
+        src, d1, d2 = prober.fresh_page(), prober.fresh_page(), prober.fresh_page()
+        comp = prober.fresh_comp()
+        prober.probe_dualcast(src, d1, d2, comp)
+        from repro.ats.devtlb import FieldType
+
+        devtlb = system.device.devtlb
+        assert devtlb.cached_pages(0, FieldType.DST) == [d1 >> 12]
+        assert devtlb.cached_pages(0, FieldType.DST2) == [d2 >> 12]
+
+    def test_memcpy_probe(self, prober):
+        src, dst = prober.fresh_page(), prober.fresh_page()
+        comp = prober.fresh_comp()
+        result = prober.probe_memcpy(src, dst, comp)
+        assert result.record is not None
+
+
+class TestCalibration:
+    def test_threshold_in_paper_band(self, prober):
+        """Fig. 4: the threshold falls between hit (~500) and miss (>1000)."""
+        calibration = calibrate_threshold(prober, samples=60)
+        assert 550 <= calibration.threshold <= 1000
+        assert calibration.hit_mean < 700
+        assert calibration.miss_mean > 900
+
+    def test_separation_is_large(self, prober):
+        calibration = calibrate_threshold(prober, samples=60)
+        assert calibration.separation > 300
+
+    def test_overlap_error_is_small(self, prober):
+        calibration = calibrate_threshold(prober, samples=100)
+        assert calibration.overlap_error < 0.05
+
+    def test_classify(self, prober):
+        calibration = calibrate_threshold(prober, samples=30)
+        assert calibration.classify(calibration.threshold + 1000)
+        assert not calibration.classify(100)
+
+    def test_too_few_samples_rejected(self, prober):
+        with pytest.raises(ValueError):
+            calibrate_threshold(prober, samples=1)
+
+    def test_calibration_works_in_noisy_cloud(self):
+        """Fig. 4's claim: the band survives all four environments."""
+        from repro.hw.noise import Environment
+
+        for env in Environment:
+            system = CloudSystem(seed=11, environment=env)
+            system.setup_topology(AttackTopology.E0_SHARED_WQ_SHARED_ENGINE)
+            prober = Prober(system.vms["attacker-vm"].process("attacker"), wq_id=0)
+            calibration = calibrate_threshold(prober, samples=80)
+            assert calibration.overlap_error < 0.10, env
+            assert calibration.separation > 200, env

@@ -1,0 +1,82 @@
+"""Tests for victim engine/queue reconnaissance."""
+
+import pytest
+
+from repro.core.recon import find_victim_engine, find_victim_swq
+from repro.dsa.descriptor import Descriptor, make_noop
+from repro.dsa.opcodes import DescriptorFlags, Opcode
+from repro.dsa.wq import WorkQueueConfig, WqMode
+from repro.errors import ConfigurationError
+from repro.virt.system import CloudSystem
+
+
+def build_multi_engine_system():
+    """Three engines, three SWQs (0,1,2), victim on WQ 1 (engine 1)."""
+    system = CloudSystem(seed=81)
+    device = system.device
+    for engine in range(3):
+        device.configure_group(engine, (engine,))
+        device.configure_wq(
+            WorkQueueConfig(wq_id=engine, size=16, mode=WqMode.SHARED, group_id=engine)
+        )
+    attacker_vm = system.create_vm("attacker-vm")
+    victim_vm = system.create_vm("victim-vm")
+    attacker = attacker_vm.spawn_process("attacker")
+    victim = victim_vm.spawn_process("victim")
+    for wq in range(3):
+        system.open_portal(attacker, wq)
+    system.open_portal(victim, 1)
+    return system, attacker, victim
+
+
+class TestEngineRecon:
+    def test_finds_the_victim_engine(self):
+        system, attacker, victim = build_multi_engine_system()
+        v_portal = victim.portal(1)
+        v_comp = victim.comp_record()
+
+        def trigger():
+            v_portal.enqcmd(make_noop(victim.pasid, v_comp))
+
+        result = find_victim_engine(
+            attacker, [0, 1, 2], trigger, system.timeline, windows=5
+        )
+        assert result.best.wq_id == 1
+        assert result.confident
+
+    def test_silent_victim_gives_no_confidence(self):
+        system, attacker, victim = build_multi_engine_system()
+        result = find_victim_engine(
+            attacker, [0, 1, 2], lambda: None, system.timeline, windows=4
+        )
+        assert not result.confident
+        assert all(o.hits == 0 for o in result.observations)
+
+    def test_no_candidates_rejected(self):
+        system, attacker, victim = build_multi_engine_system()
+        with pytest.raises(ConfigurationError):
+            find_victim_engine(attacker, [], lambda: None, system.timeline)
+
+
+class TestSwqRecon:
+    def test_finds_the_victim_queue(self):
+        system, attacker, victim = build_multi_engine_system()
+        v_portal = victim.portal(1)
+        noop = Descriptor(
+            opcode=Opcode.NOOP, pasid=victim.pasid, flags=DescriptorFlags.NONE
+        )
+
+        def trigger():
+            v_portal.enqcmd(noop)
+
+        result = find_victim_swq(
+            attacker, [0, 1, 2], trigger, system.timeline, windows=5
+        )
+        assert result.best.wq_id == 1
+        assert result.confident
+
+    def test_observation_hit_rate(self):
+        from repro.core.recon import ReconObservation
+
+        assert ReconObservation(wq_id=0, windows=4, hits=2).hit_rate == 0.5
+        assert ReconObservation(wq_id=0, windows=0, hits=0).hit_rate == 0.0

@@ -1,0 +1,133 @@
+"""Tests for the trace samplers."""
+
+import numpy as np
+import pytest
+
+from repro.core.devtlb_attack import DsaDevTlbAttack
+from repro.core.sampling import DevTlbSampler, SamplerConfig, SwqSampler
+from repro.core.swq_attack import DsaSwqAttack
+from repro.dsa.descriptor import Descriptor, make_noop
+from repro.dsa.opcodes import DescriptorFlags, Opcode
+from repro.hw.units import us_to_cycles
+from repro.virt.system import AttackTopology, CloudSystem
+
+
+class TestSamplerConfig:
+    def test_slot_and_trace_durations(self):
+        config = SamplerConfig(sample_period_us=10, samples_per_slot=400, slots=250)
+        assert config.slot_us == 4000
+        assert config.trace_us == 1_000_000
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sample_period_us": 0},
+            {"samples_per_slot": 0},
+            {"slots": 0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SamplerConfig(**kwargs)
+
+
+class TestDevTlbSampler:
+    def _build(self):
+        system = CloudSystem(seed=5)
+        handles = system.setup_topology(AttackTopology.E1_SEPARATE_WQ_SHARED_ENGINE)
+        attack = DsaDevTlbAttack(handles.attacker, wq_id=handles.attacker_wq)
+        attack.calibrate(samples=40)
+        return system, handles, attack
+
+    def test_quiet_trace_is_near_zero(self):
+        system, handles, attack = self._build()
+        sampler = DevTlbSampler(
+            attack, system.timeline, SamplerConfig(samples_per_slot=20, slots=5)
+        )
+        trace = sampler.collect_trace()
+        assert trace.shape == (5,)
+        assert trace.sum() == 0
+
+    def test_victim_bursts_land_in_right_slots(self):
+        system, handles, attack = self._build()
+        victim = handles.victim
+        v_portal = victim.portal(handles.victim_wq)
+        v_comp = victim.comp_record()
+
+        config = SamplerConfig(sample_period_us=10, samples_per_slot=20, slots=6)
+        # Victim is active only during slots 1 and 4 (200 us per slot),
+        # measured from the trace start (i.e. the current clock).
+        start = system.clock.now
+        for slot in (1, 4):
+            base_us = slot * config.slot_us + 20
+            for k in range(8):
+                system.timeline.schedule_at(
+                    start + us_to_cycles(base_us + k * 20),
+                    lambda: v_portal.enqcmd(make_noop(victim.pasid, v_comp)),
+                )
+        sampler = DevTlbSampler(attack, system.timeline, config)
+        trace = sampler.collect_trace()
+        assert trace[1] > 0
+        assert trace[4] > 0
+        assert trace[0] == trace[2] == trace[3] == trace[5] == 0
+
+    def test_collect_events_timestamps_monotonic(self):
+        system, handles, attack = self._build()
+        sampler = DevTlbSampler(attack, system.timeline)
+        events = sampler.collect_events(samples=30)
+        assert events.shape == (30, 2)
+        assert np.all(np.diff(events[:, 0]) > 0)
+        assert set(np.unique(events[:, 1])).issubset({0, 1})
+
+
+class TestSwqSampler:
+    def _build(self):
+        system = CloudSystem(seed=9)
+        handles = system.setup_topology(AttackTopology.E0_SHARED_WQ_SHARED_ENGINE)
+        attack = DsaSwqAttack(handles.attacker, wq_id=0, anchor_bytes=1 << 19)
+        return system, handles, attack
+
+    def test_quiet_trace_is_zero(self):
+        system, handles, attack = self._build()
+        sampler = SwqSampler(
+            attack,
+            system.timeline,
+            idle_cycles=us_to_cycles(10),
+            config=SamplerConfig(samples_per_slot=3, slots=4),
+        )
+        trace = sampler.collect_trace()
+        assert trace.shape == (4,)
+        assert trace.sum() == 0
+
+    def test_victim_activity_counted(self):
+        system = CloudSystem(seed=9)
+        handles = system.setup_topology(AttackTopology.E0_SHARED_WQ_SHARED_ENGINE)
+        # Anchor of 2 MiB executes for ~70 us — longer than the 40 us idle
+        # window, per the paper's requirement for step 2.
+        attack = DsaSwqAttack(handles.attacker, wq_id=0, anchor_bytes=1 << 21)
+        victim = handles.victim
+        v_portal = victim.portal(0)
+        noop = Descriptor(
+            opcode=Opcode.NOOP, pasid=victim.pasid, flags=DescriptorFlags.NONE
+        )
+        # A steady victim stream: one submission every 30 us for 4 ms.
+        start = system.clock.now
+        for k in range(130):
+            system.timeline.schedule_at(
+                start + us_to_cycles(30 * (k + 1)), lambda: v_portal.enqcmd(noop)
+            )
+        sampler = SwqSampler(
+            attack,
+            system.timeline,
+            idle_cycles=us_to_cycles(40),
+            config=SamplerConfig(samples_per_slot=3, slots=3),
+        )
+        trace = sampler.collect_trace()
+        assert trace.sum() > 0
+
+    def test_collect_events(self):
+        system, handles, attack = self._build()
+        sampler = SwqSampler(attack, system.timeline, idle_cycles=us_to_cycles(10))
+        events = sampler.collect_events(rounds=5)
+        assert events.shape == (5, 2)
+        assert np.all(np.diff(events[:, 0]) > 0)

@@ -1,0 +1,87 @@
+"""End-to-end covert channel tests (headline claims of Section VI-A)."""
+
+import numpy as np
+import pytest
+
+from repro.covert.channel import run_devtlb_covert_channel, run_swq_covert_channel
+from repro.covert.protocol import CovertConfig
+
+
+class TestConfig:
+    def test_raw_rate_from_window(self):
+        assert CovertConfig(bit_window_us=100.0).raw_bps == pytest.approx(10_000)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"bit_window_us": 0},
+            {"preamble_ones": 0},
+            {"sender_jitter_us": -1},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CovertConfig(**kwargs)
+
+
+class TestDevTlbChannel:
+    def test_near_noiseless_transmission_is_exact(self):
+        config = CovertConfig(sender_jitter_us=0.5, preamble_jitter_us=0.5)
+        result = run_devtlb_covert_channel(payload_bits=128, seed=42, config=config)
+        assert result.error_rate == 0.0
+        assert np.array_equal(result.sent, result.received)
+
+    def test_default_channel_meets_paper_band(self):
+        """Paper: ~17.19 kbps true capacity at ~4.63% BER."""
+        results = [
+            run_devtlb_covert_channel(payload_bits=256, seed=seed)
+            for seed in range(4)
+        ]
+        mean_ber = np.mean([r.error_rate for r in results])
+        mean_true = np.mean([r.true_bps for r in results])
+        assert mean_ber < 0.10
+        assert mean_true > 14_000
+
+    def test_raw_rate_reported(self):
+        result = run_devtlb_covert_channel(payload_bits=64, seed=0)
+        assert result.raw_bps == pytest.approx(1_000_000 / 42.5)
+        assert result.bits == 64
+
+    def test_higher_rate_higher_error(self):
+        """The Fig. 9 trade-off: shrinking the window raises the BER."""
+        slow = run_devtlb_covert_channel(
+            payload_bits=192, seed=3, config=CovertConfig(bit_window_us=100.0)
+        )
+        fast = run_devtlb_covert_channel(
+            payload_bits=192, seed=3, config=CovertConfig(bit_window_us=25.0)
+        )
+        assert fast.error_rate > slow.error_rate
+
+
+class TestSwqChannel:
+    def test_near_noiseless_transmission_is_exact(self):
+        config = CovertConfig(
+            bit_window_us=110.0,
+            sender_jitter_us=0.5,
+            preamble_jitter_us=0.5,
+            preamble_ones=16,
+            preamble_burst_bits=4,
+        )
+        result = run_swq_covert_channel(payload_bits=64, seed=7, config=config)
+        assert result.error_rate == 0.0
+
+    def test_default_channel_meets_paper_band(self):
+        """Paper: ~4.02 kbps true capacity at ~13.11% BER."""
+        results = [
+            run_swq_covert_channel(payload_bits=128, seed=seed) for seed in range(4)
+        ]
+        mean_ber = np.mean([r.error_rate for r in results])
+        mean_true = np.mean([r.true_bps for r in results])
+        assert mean_ber < 0.20
+        assert mean_true > 3_000
+
+    def test_swq_slower_but_timer_free(self):
+        """SWQ trades rate for needing no rdtsc at all."""
+        swq = run_swq_covert_channel(payload_bits=64, seed=1)
+        devtlb = run_devtlb_covert_channel(payload_bits=64, seed=1)
+        assert swq.raw_bps < devtlb.raw_bps

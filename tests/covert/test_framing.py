@@ -1,0 +1,149 @@
+"""Unit and property tests for covert-channel framing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.covert.framing import (
+    FRAME_BITS,
+    FRAME_PAYLOAD_BITS,
+    DecodeReport,
+    Frame,
+    bits_to_bytes,
+    bytes_to_bits,
+    crc8,
+    decode_frames,
+    frame_message,
+    goodput_bps,
+)
+
+
+class TestCrc:
+    def test_deterministic(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.int8)
+        assert crc8(bits) == crc8(bits)
+
+    def test_detects_single_bit_flip(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=36).astype(np.int8)
+        original = crc8(bits)
+        for position in range(len(bits)):
+            flipped = bits.copy()
+            flipped[position] ^= 1
+            assert crc8(flipped) != original
+
+    def test_range(self):
+        assert 0 <= crc8(np.ones(50, dtype=np.int8)) <= 0xFF
+
+
+class TestBitConversions:
+    def test_roundtrip(self):
+        data = b"DSAssassin!"
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_bits(b"")
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+
+class TestFrame:
+    def test_encode_decode_roundtrip(self):
+        payload = np.ones(FRAME_PAYLOAD_BITS, dtype=np.int8)
+        frame = Frame(sequence=5, payload=payload)
+        decoded = Frame.decode(frame.encode())
+        assert decoded is not None
+        assert decoded.sequence == 5
+        assert np.array_equal(decoded.payload, payload)
+
+    def test_corruption_rejected(self):
+        frame = Frame(sequence=1, payload=np.zeros(FRAME_PAYLOAD_BITS, dtype=np.int8))
+        bits = frame.encode()
+        bits[10] ^= 1
+        assert Frame.decode(bits) is None
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            Frame.decode(np.zeros(10, dtype=np.int8))
+
+
+class TestMessageFraming:
+    def test_clean_channel_recovers_message(self):
+        message = b"attack at dawn"
+        report = decode_frames(frame_message(message))
+        assert report.frames_rejected == 0
+        assert report.data[: len(message)] == message
+
+    def test_stream_length_is_frame_multiple(self):
+        stream = frame_message(b"xy")
+        assert len(stream) % FRAME_BITS == 0
+
+    def test_corrupted_frame_is_isolated(self):
+        message = b"0123456789abcdef"  # 4 frames of 32 payload bits
+        stream = frame_message(message)
+        stream[FRAME_BITS + 3] ^= 1  # corrupt only frame 1
+        report = decode_frames(stream)
+        assert report.frames_rejected == 1
+        assert report.frames_accepted == report.frames_total - 1
+        # Frames 0, 2, 3 carry their bytes through unharmed.
+        assert report.data[:4] == message[:4]
+        assert report.data[8:16] == message[8:16]
+
+    @given(st.binary(min_size=1, max_size=40))
+    @settings(max_examples=50)
+    def test_lossless_roundtrip_property(self, message):
+        report = decode_frames(frame_message(message))
+        assert report.frame_acceptance_rate == 1.0
+        assert report.data[: len(message)] == message
+
+
+class TestGoodput:
+    def test_perfect_channel(self):
+        report = DecodeReport(data=b"", frames_total=10, frames_accepted=10, frames_rejected=0)
+        expected = 1000.0 * FRAME_PAYLOAD_BITS / FRAME_BITS
+        assert goodput_bps(report, 1000.0) == pytest.approx(expected)
+
+    def test_dead_channel(self):
+        report = DecodeReport(data=b"", frames_total=10, frames_accepted=0, frames_rejected=10)
+        assert goodput_bps(report, 1000.0) == 0.0
+
+    def test_negative_rate_rejected(self):
+        report = DecodeReport(data=b"", frames_total=1, frames_accepted=1, frames_rejected=0)
+        with pytest.raises(ValueError):
+            goodput_bps(report, -1.0)
+
+
+class TestEndToEndFraming:
+    def test_framed_transfer_over_devtlb_channel(self):
+        """Ship real bytes across the VM boundary with CRC validation."""
+        from repro.covert.channel import DevTlbCovertReceiver
+        from repro.covert.protocol import CovertConfig, CovertSender
+        from repro.core.devtlb_attack import DsaDevTlbAttack
+        from repro.hw.units import us_to_cycles
+        from repro.virt.system import AttackTopology, CloudSystem
+
+        message = b"exfil"
+        config = CovertConfig(sender_jitter_us=3.0)
+        system = CloudSystem(seed=31)
+        handles = system.setup_topology(AttackTopology.E1_SEPARATE_WQ_SHARED_ENGINE)
+        attack = DsaDevTlbAttack(handles.attacker, wq_id=handles.attacker_wq)
+        attack.calibrate(samples=40)
+        sender = CovertSender(
+            handles.victim, handles.victim_wq, config, system.rng, evict_devtlb=True
+        )
+        receiver = DevTlbCovertReceiver(attack, config)
+
+        stream = frame_message(message)
+        start = system.clock.now + us_to_cycles(5 * config.bit_window_us)
+        sender.schedule_message(system.timeline, stream, start)
+        estimated = receiver.synchronize(system.timeline)
+        received = receiver.receive(system.timeline, estimated, len(stream))
+        report = decode_frames(received)
+        assert report.frame_acceptance_rate > 0.5
+        if report.frames_rejected == 0:
+            assert report.data[: len(message)] == message

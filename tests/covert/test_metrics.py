@@ -1,0 +1,91 @@
+"""Unit and property tests for covert-channel metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.covert.metrics import (
+    binary_entropy,
+    bit_error_rate,
+    random_bits,
+    true_capacity,
+)
+
+
+class TestBinaryEntropy:
+    def test_extremes(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        assert binary_entropy(0.2) == pytest.approx(binary_entropy(0.8))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            binary_entropy(1.5)
+
+    @given(st.floats(min_value=0.001, max_value=0.499))
+    def test_monotone_below_half(self, p):
+        assert binary_entropy(p) < binary_entropy(p + 0.001)
+
+
+class TestBitErrorRate:
+    def test_identical_is_zero(self):
+        bits = np.array([0, 1, 1, 0])
+        assert bit_error_rate(bits, bits) == 0.0
+
+    def test_counts_differences(self):
+        assert bit_error_rate(np.array([0, 1, 1, 0]), np.array([1, 1, 1, 1])) == 0.5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bit_error_rate(np.array([1]), np.array([1, 0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bit_error_rate(np.array([]), np.array([]))
+
+
+class TestTrueCapacity:
+    def test_perfect_channel(self):
+        assert true_capacity(1000.0, 0.0) == 1000.0
+
+    def test_useless_channel(self):
+        assert true_capacity(1000.0, 0.5) == pytest.approx(0.0)
+
+    def test_paper_devtlb_point(self):
+        """raw 23.5 kbps at 4.63% error gives ~17.2 kbps true capacity."""
+        assert true_capacity(23_530, 0.0463) == pytest.approx(17_100, rel=0.02)
+
+    def test_above_half_clamped(self):
+        assert true_capacity(1000, 0.9) == pytest.approx(true_capacity(1000, 0.1))
+
+    def test_negative_raw_rejected(self):
+        with pytest.raises(ValueError):
+            true_capacity(-1, 0.1)
+
+    @given(
+        st.floats(min_value=0, max_value=1e6),
+        st.floats(min_value=0, max_value=0.5),
+    )
+    @settings(max_examples=100)
+    def test_capacity_bounded_by_raw(self, raw, p):
+        capacity = true_capacity(raw, p)
+        assert 0 <= capacity <= raw + 1e-9
+
+
+class TestRandomBits:
+    def test_length_and_values(self):
+        bits = random_bits(np.random.default_rng(0), 100)
+        assert bits.shape == (100,)
+        assert set(np.unique(bits)).issubset({0, 1})
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            random_bits(np.random.default_rng(0), 0)
+
+    def test_roughly_balanced(self):
+        bits = random_bits(np.random.default_rng(1), 10_000)
+        assert 0.45 < bits.mean() < 0.55

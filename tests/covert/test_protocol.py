@@ -1,0 +1,83 @@
+"""Unit and property tests for the covert protocol pieces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.covert.protocol import CovertConfig, CovertSender
+from repro.hw.units import us_to_cycles
+from repro.virt.system import AttackTopology, CloudSystem
+
+
+def _sender(config, seed=0, evict=True):
+    system = CloudSystem(seed=seed)
+    handles = system.setup_topology(AttackTopology.E1_SEPARATE_WQ_SHARED_ENGINE)
+    sender = CovertSender(
+        handles.victim, handles.victim_wq, config, system.rng, evict_devtlb=evict
+    )
+    return system, sender
+
+
+class TestSenderScheduling:
+    def test_preamble_prepended(self):
+        config = CovertConfig(preamble_ones=5)
+        system, sender = _sender(config)
+        payload = np.array([0, 1, 0], dtype=np.int8)
+        bits = sender.schedule_message(system.timeline, payload, system.clock.now)
+        assert list(bits[:5]) == [1] * 5
+        assert list(bits[5:]) == [0, 1, 0]
+
+    def test_zero_bits_schedule_nothing(self):
+        config = CovertConfig(preamble_ones=1)
+        system, sender = _sender(config)
+        payload = np.zeros(10, dtype=np.int8)
+        sender.schedule_message(system.timeline, payload, system.clock.now)
+        # 1 preamble one, 0 payload ones.
+        assert sender.bits_scheduled == 1
+
+    def test_burst_pulses_only_in_burst_section(self):
+        config = CovertConfig(
+            preamble_ones=6, preamble_burst_bits=2, sender_jitter_us=0.0,
+            preamble_jitter_us=0.0,
+        )
+        system, sender = _sender(config)
+        payload = np.array([1], dtype=np.int8)
+        before = system.timeline.pending
+        sender.schedule_message(
+            system.timeline, payload, system.clock.now, preamble_pulses=4
+        )
+        scheduled = system.timeline.pending - before
+        # 2 burst bits x 4 pulses + 4 single preamble + 1 payload = 13.
+        assert scheduled == 13
+
+    def test_events_never_before_start(self):
+        config = CovertConfig(sender_jitter_us=500.0)  # huge jitter
+        system, sender = _sender(config)
+        start = system.clock.now + us_to_cycles(100)
+        sender.schedule_message(
+            system.timeline, np.ones(20, dtype=np.int8), start
+        )
+        assert system.timeline.next_event_time() >= start
+
+    @given(st.integers(1, 30), st.integers(0, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_bit_count_bookkeeping(self, preamble, payload_ones):
+        config = CovertConfig(preamble_ones=preamble)
+        system, sender = _sender(config)
+        payload = np.concatenate(
+            [np.ones(payload_ones, dtype=np.int8), np.zeros(5, dtype=np.int8)]
+        )
+        sender.schedule_message(system.timeline, payload, system.clock.now)
+        assert sender.bits_scheduled == preamble + payload_ones
+
+
+class TestConfigValidation:
+    def test_negative_preamble_jitter_allowed_zero(self):
+        CovertConfig(preamble_jitter_us=0.0)
+
+    @pytest.mark.parametrize("window", [42.5, 110.0, 249.0])
+    def test_raw_rate(self, window):
+        assert CovertConfig(bit_window_us=window).raw_bps == pytest.approx(
+            1e6 / window
+        )

@@ -1,0 +1,88 @@
+"""Unit tests for receiver internals (geometry and phase fitting)."""
+
+import numpy as np
+import pytest
+
+from repro.covert.channel import DevTlbCovertReceiver, SwqCovertReceiver
+from repro.covert.protocol import CovertConfig
+from repro.core.devtlb_attack import DsaDevTlbAttack
+from repro.core.swq_attack import DsaSwqAttack
+from repro.errors import ConfigurationError
+from repro.hw.units import us_to_cycles
+from repro.virt.system import AttackTopology, CloudSystem
+
+
+class TestSwqReceiverGeometry:
+    def test_anchor_scales_with_window(self):
+        small = SwqCovertReceiver.anchor_bytes_for_window(50.0)
+        large = SwqCovertReceiver.anchor_bytes_for_window(500.0)
+        assert large == pytest.approx(10 * small, rel=0.01)
+
+    def test_anchor_never_below_a_page(self):
+        assert SwqCovertReceiver.anchor_bytes_for_window(0.01) >= 4096
+
+    def test_sensing_span_centered_on_bit(self):
+        config = CovertConfig(bit_window_us=110.0)
+        system = CloudSystem(seed=1)
+        system.setup_topology(AttackTopology.E0_SHARED_WQ_SHARED_ENGINE, wq_size=16)
+        attacker = system.vms["attacker-vm"].process("attacker")
+        attack = DsaSwqAttack(attacker, wq_id=0, anchor_bytes=1 << 21)
+        receiver = SwqCovertReceiver(attack, config)
+        window = us_to_cycles(config.bit_window_us)
+        sensing_start = receiver._round_lead + receiver._congest_cycles
+        sensing_end = sensing_start + receiver._idle_cycles
+        mid = (sensing_start + sensing_end) / 2
+        assert mid == pytest.approx(0.5 * window, rel=0.02)
+
+    def test_custom_idle_span(self):
+        config = CovertConfig(bit_window_us=110.0)
+        system = CloudSystem(seed=2)
+        system.setup_topology(AttackTopology.E0_SHARED_WQ_SHARED_ENGINE, wq_size=16)
+        attacker = system.vms["attacker-vm"].process("attacker")
+        attack = DsaSwqAttack(attacker, wq_id=0, anchor_bytes=1 << 21)
+        wide = SwqCovertReceiver(attack, config, idle_span=0.7)
+        narrow = SwqCovertReceiver(attack, config, idle_span=0.3)
+        assert wide._idle_cycles > 2 * narrow._idle_cycles
+
+
+class TestDevTlbPhaseFit:
+    def _fit(self, centers, window=1000):
+        return DevTlbCovertReceiver._align_to_preamble(
+            np.asarray(centers, dtype=np.float64), window
+        )
+
+    def test_perfect_centers_recover_origin(self):
+        window = 1000
+        t0 = 12_345
+        centers = [t0 + (k + 0.5) * window for k in range(8)]
+        assert abs(self._fit(centers, window) - t0) < 2
+
+    def test_jittered_centers_recover_origin(self):
+        rng = np.random.default_rng(3)
+        window = 1000
+        t0 = 50_000
+        centers = [
+            t0 + (k + 0.5) * window + rng.normal(0, 120) for k in range(10)
+        ]
+        assert abs(self._fit(centers, window) - t0) < 150
+
+    def test_isolated_outlier_does_not_shift_origin(self):
+        """A stray hit well before the preamble (what a noise spike that
+        slipped past the sync threshold looks like) is discarded by the
+        run-anchoring; only *adjacent* strays are irreducible, which is
+        why scanning uses a raised threshold in the first place."""
+        window = 1000
+        t0 = 9_000
+        centers = [t0 - 3.5 * window]  # isolated stray, 3+ windows early
+        centers += [t0 + (k + 0.5) * window for k in range(8)]
+        assert abs(self._fit(centers, window) - t0) < 100
+
+    def test_sync_failure_raises(self):
+        config = CovertConfig(bit_window_us=42.5)
+        system = CloudSystem(seed=4)
+        handles = system.setup_topology(AttackTopology.E1_SEPARATE_WQ_SHARED_ENGINE)
+        attack = DsaDevTlbAttack(handles.attacker, wq_id=handles.attacker_wq)
+        attack.calibrate(samples=30)
+        receiver = DevTlbCovertReceiver(attack, config)
+        with pytest.raises(ConfigurationError):
+            receiver.synchronize(system.timeline, max_windows=20)  # silence

@@ -1,0 +1,100 @@
+"""Tests for the T10-DIF operations."""
+
+import numpy as np
+import pytest
+
+from repro.dsa.completion import CompletionStatus
+from repro.dsa.descriptor import Descriptor
+from repro.dsa.opcodes import Opcode
+
+from tests.conftest import build_host
+
+BLOCK = 512
+STRIDE = 520
+
+
+@pytest.fixture
+def host():
+    return build_host(seed=41)
+
+
+@pytest.fixture
+def proc(host):
+    return host.new_process()
+
+
+def dif_descriptor(proc, opcode, src, dst, size):
+    return Descriptor(
+        opcode=opcode, pasid=proc.pasid, src=src, dst=dst, size=size,
+        completion_addr=proc.comp_record(),
+    )
+
+
+def insert(proc, payload):
+    src = proc.buffer(max(len(payload), 4096))
+    dst = proc.buffer(2 * max(len(payload), 4096))
+    proc.write(src, payload)
+    result = proc.portal.submit_wait(
+        dif_descriptor(proc, Opcode.DIF_INSERT, src, dst, len(payload))
+    )
+    return result, dst
+
+
+class TestDifInsert:
+    def test_inserts_pi_per_block(self, proc):
+        payload = np.random.default_rng(0).bytes(2 * BLOCK)
+        result, dst = insert(proc, payload)
+        assert result.record.status is CompletionStatus.SUCCESS
+        protected = proc.read(dst, 2 * STRIDE)
+        assert protected[:BLOCK] == payload[:BLOCK]
+        assert protected[STRIDE : STRIDE + BLOCK] == payload[BLOCK:]
+        # Reference tags carry the block index.
+        assert int.from_bytes(protected[BLOCK + 4 : BLOCK + 8], "little") == 0
+        assert int.from_bytes(protected[STRIDE + BLOCK + 4 : STRIDE + BLOCK + 8], "little") == 1
+
+    def test_unaligned_size_rejected(self, proc):
+        src = proc.buffer(4096)
+        dst = proc.buffer(4096)
+        result = proc.portal.submit_wait(
+            dif_descriptor(proc, Opcode.DIF_INSERT, src, dst, 100)
+        )
+        assert result.record.status is CompletionStatus.INVALID_DESCRIPTOR
+
+
+class TestDifCheckAndStrip:
+    def test_check_passes_on_inserted_data(self, proc):
+        payload = np.random.default_rng(1).bytes(3 * BLOCK)
+        _, protected = insert(proc, payload)
+        result = proc.portal.submit_wait(
+            dif_descriptor(proc, Opcode.DIF_CHECK, protected, 0, 3 * STRIDE)
+        )
+        assert result.record.result == 0
+
+    def test_check_catches_corruption(self, proc):
+        payload = np.random.default_rng(2).bytes(3 * BLOCK)
+        _, protected = insert(proc, payload)
+        corrupted = bytearray(proc.read(protected, 3 * STRIDE))
+        corrupted[STRIDE + 7] ^= 0xFF  # flip a byte in block 1
+        proc.write(protected, bytes(corrupted))
+        result = proc.portal.submit_wait(
+            dif_descriptor(proc, Opcode.DIF_CHECK, protected, 0, 3 * STRIDE)
+        )
+        assert result.record.result == 1
+        assert result.record.bytes_completed == STRIDE  # block 1 flagged
+
+    def test_strip_roundtrip(self, proc):
+        payload = np.random.default_rng(3).bytes(2 * BLOCK)
+        _, protected = insert(proc, payload)
+        out = proc.buffer(4096)
+        result = proc.portal.submit_wait(
+            dif_descriptor(proc, Opcode.DIF_STRIP, protected, out, 2 * STRIDE)
+        )
+        assert result.record.status is CompletionStatus.SUCCESS
+        assert proc.read(out, 2 * BLOCK) == payload
+
+    def test_check_unaligned_rejected(self, proc):
+        src = proc.buffer(4096)
+        result = proc.portal.submit_wait(
+            dif_descriptor(proc, Opcode.DIF_CHECK, src, 0, 513)
+        )
+        assert result.record.status is CompletionStatus.INVALID_DESCRIPTOR

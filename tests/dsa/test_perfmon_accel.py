@@ -1,0 +1,92 @@
+"""Tests for Perfmon privilege gating and the accel-config emulation."""
+
+import pytest
+
+from repro.dsa.accel_config import AccelConfig
+from repro.dsa.descriptor import make_noop
+from repro.dsa.perfmon import EVENTS, Perfmon
+from repro.dsa.wq import WqMode
+from repro.errors import ConfigurationError, PermissionDeniedError
+
+from tests.conftest import build_host
+
+
+class TestPerfmon:
+    def test_unprivileged_read_denied(self):
+        host = build_host()
+        perfmon = Perfmon(host.device, privileged=False)
+        with pytest.raises(PermissionDeniedError):
+            perfmon.read("EV_ATC_HIT_PREV")
+
+    def test_table1_events_present(self):
+        assert set(EVENTS) == {"EV_ATC_ALLOC", "EV_ATC_NO_ALLOC", "EV_ATC_HIT_PREV"}
+        assert EVENTS["EV_ATC_ALLOC"].category == 0x2
+        assert EVENTS["EV_ATC_ALLOC"].code == 0x40
+        assert EVENTS["EV_ATC_NO_ALLOC"].code == 0x80
+        assert EVENTS["EV_ATC_HIT_PREV"].code == 0x100
+
+    def test_counters_reflect_probe_activity(self):
+        host = build_host()
+        proc = host.new_process()
+        perfmon = Perfmon(host.device, privileged=True)
+        comp = proc.comp_record()
+        before = perfmon.snapshot()
+        proc.portal.submit_wait(make_noop(proc.pasid, comp))  # miss
+        proc.portal.submit_wait(make_noop(proc.pasid, comp))  # hit
+        after = perfmon.snapshot()
+        assert after["EV_ATC_ALLOC"] - before["EV_ATC_ALLOC"] == 2
+        assert after["EV_ATC_HIT_PREV"] - before["EV_ATC_HIT_PREV"] == 1
+
+    def test_per_engine_read(self):
+        host = build_host()
+        perfmon = Perfmon(host.device, privileged=True)
+        assert perfmon.read("EV_ATC_ALLOC", engine_id=0) == 0
+
+    def test_unknown_event_rejected(self):
+        host = build_host()
+        perfmon = Perfmon(host.device, privileged=True)
+        with pytest.raises(ConfigurationError):
+            perfmon.read("EV_DOES_NOT_EXIST")
+
+    def test_unknown_engine_rejected(self):
+        host = build_host()
+        perfmon = Perfmon(host.device, privileged=True)
+        with pytest.raises(ConfigurationError):
+            perfmon.read("EV_ATC_ALLOC", engine_id=99)
+
+
+class TestAccelConfig:
+    def test_wq_size_readable_without_root(self):
+        """Section IV-C: the SWQ attack reads wq_size unprivileged."""
+        host = build_host(wq_size=16)
+        config = AccelConfig(host.device, privileged=False)
+        assert config.wq_size(0) == 16
+
+    def test_wq_info_and_listing(self):
+        host = build_host(wq_size=16)
+        config = AccelConfig(host.device, privileged=False)
+        infos = config.list_wqs()
+        assert len(infos) == 1
+        assert infos[0].mode is WqMode.SHARED
+        assert infos[0].occupancy == 0
+        assert config.list_engines() == [0, 1]
+
+    def test_configuration_requires_root(self):
+        host = build_host()
+        config = AccelConfig(host.device, privileged=False)
+        with pytest.raises(PermissionDeniedError):
+            config.configure_wq(wq_id=5, size=8)
+        with pytest.raises(PermissionDeniedError):
+            config.configure_group(1, [1])
+        with pytest.raises(PermissionDeniedError):
+            config.remove_wq(0)
+
+    def test_privileged_configuration_roundtrip(self):
+        host = build_host()
+        config = AccelConfig(host.device, privileged=True)
+        config.configure_group(1, [1])
+        config.configure_wq(wq_id=5, size=8, group_id=1)
+        assert config.wq_size(5) == 8
+        config.remove_wq(5)
+        with pytest.raises(ConfigurationError):
+            config.wq_size(5)

@@ -1,0 +1,93 @@
+"""End-to-end Perfmon event semantics (Table I) over mixed workloads.
+
+The reverse-engineering suite checks individual listings; these tests pin
+the counter algebra over longer mixed sequences, which is what protects
+the counters' meaning against engine refactors.
+"""
+
+import numpy as np
+
+from repro.dsa.descriptor import make_dualcast, make_memcmp, make_memcpy, make_noop
+from repro.dsa.perfmon import Perfmon
+
+from tests.conftest import build_host
+
+
+class TestCounterAlgebra:
+    def test_alloc_counts_every_page_request(self):
+        """EV_ATC_ALLOC == total page segments across all field streams."""
+        host = build_host()
+        proc = host.new_process()
+        perfmon = Perfmon(host.device, privileged=True)
+        comp = proc.comp_record()
+        src = proc.buffer(4 * 4096)
+        dst = proc.buffer(4 * 4096)
+
+        before = perfmon.snapshot()
+        expected = 0
+        descriptors = [
+            make_noop(proc.pasid, comp),  # 1 page (comp)
+            make_memcpy(proc.pasid, src, dst, 2 * 4096, comp),  # 2+2+1
+            make_memcmp(proc.pasid, src, dst, 64, comp),  # 1+1+1
+            make_dualcast(proc.pasid, src, dst, dst + 8192, 64, comp),  # 4
+        ]
+        expected = 1 + 5 + 3 + 4
+        for descriptor in descriptors:
+            proc.portal.submit_wait(descriptor)
+        delta = perfmon.snapshot()["EV_ATC_ALLOC"] - before["EV_ATC_ALLOC"]
+        assert delta == expected
+
+    def test_hits_equal_no_alloc_on_single_slot_device(self):
+        """Single-slot sub-entries: a hit is exactly a no-replacement."""
+        host = build_host()
+        proc = host.new_process()
+        perfmon = Perfmon(host.device, privileged=True)
+        rng = np.random.default_rng(0)
+        comps = [proc.comp_record() for _ in range(3)]
+        for _ in range(60):
+            proc.portal.submit_wait(
+                make_noop(proc.pasid, comps[int(rng.integers(0, 3))])
+            )
+        snapshot = perfmon.snapshot()
+        assert snapshot["EV_ATC_HIT_PREV"] == snapshot["EV_ATC_NO_ALLOC"]
+        assert 0 < snapshot["EV_ATC_HIT_PREV"] < snapshot["EV_ATC_ALLOC"]
+
+    def test_repeat_rate_drives_hit_rate(self):
+        """Probing one page yields ~100% hits; cycling three pages ~0%."""
+        host = build_host()
+        proc = host.new_process()
+        perfmon = Perfmon(host.device, privileged=True)
+
+        single = proc.comp_record()
+        proc.portal.submit_wait(make_noop(proc.pasid, single))
+        before = perfmon.snapshot()
+        for _ in range(20):
+            proc.portal.submit_wait(make_noop(proc.pasid, single))
+        delta = perfmon.snapshot()["EV_ATC_HIT_PREV"] - before["EV_ATC_HIT_PREV"]
+        assert delta == 20
+
+        cycle = [proc.comp_record() for _ in range(3)]
+        before = perfmon.snapshot()
+        for i in range(21):
+            proc.portal.submit_wait(make_noop(proc.pasid, cycle[i % 3]))
+        delta = perfmon.snapshot()["EV_ATC_HIT_PREV"] - before["EV_ATC_HIT_PREV"]
+        assert delta == 0
+
+    def test_counters_attributed_to_the_right_engine(self):
+        from repro.dsa.wq import WorkQueueConfig, WqMode
+
+        host = build_host(engine_count=2)
+        host.device.configure_group(1, (1,))
+        host.device.configure_wq(
+            WorkQueueConfig(wq_id=1, size=8, mode=WqMode.SHARED, group_id=1)
+        )
+        proc0 = host.new_process(wq_id=0)
+        proc1 = host.new_process(wq_id=1)
+        perfmon = Perfmon(host.device, privileged=True)
+        proc0.portal.submit_wait(make_noop(proc0.pasid, proc0.comp_record()))
+        proc1.portal.submit_wait(make_noop(proc1.pasid, proc1.comp_record()))
+        proc1.portal.submit_wait(make_noop(proc1.pasid, proc1.comp_record()))
+        assert perfmon.read("EV_ATC_ALLOC", engine_id=0) == 1
+        assert perfmon.read("EV_ATC_ALLOC", engine_id=1) == 2
+        total = perfmon.read("EV_ATC_ALLOC")
+        assert total == 3

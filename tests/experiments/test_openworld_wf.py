@@ -1,0 +1,24 @@
+"""Smoke test for the open-world fingerprinting experiment."""
+
+from repro.experiments import openworld_wf
+from repro.experiments.wf_common import WfSamplerSettings
+
+
+class TestOpenWorldWf:
+    def test_tiny_run_produces_sane_scores(self):
+        result = openworld_wf.run(
+            monitored=3,
+            unmonitored=2,
+            visits_per_site=6,
+            settings=WfSamplerSettings(
+                sample_period_us=100.0, samples_per_slot=40, slots=80
+            ),
+            epochs=30,
+        )
+        assert 0.0 < result.threshold < 1.0
+        assert 0.0 <= result.scores.known_accuracy <= 1.0
+        assert 0.0 <= result.scores.unknown_rejection_rate <= 1.0
+        assert len(result.monitored_sites) == 3
+        assert len(result.unmonitored_sites) == 2
+        text = openworld_wf.report(result)
+        assert "balanced" in text

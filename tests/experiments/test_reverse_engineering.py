@@ -1,0 +1,32 @@
+"""The Section IV suite must reproduce every paper observation."""
+
+from repro.experiments import reverse_engineering
+
+
+class TestReverseEngineering:
+    def test_all_observations_reproduced(self):
+        results = reverse_engineering.run()
+        failing = [
+            name for name, ok in results.observations.items() if not ok
+        ]
+        assert results.all_reproduced, f"not reproduced: {failing}"
+
+    def test_report_mentions_every_experiment(self):
+        results = reverse_engineering.run()
+        text = reverse_engineering.report(results)
+        for name in results.observations:
+            assert name in text
+
+    def test_expected_experiment_set(self):
+        results = reverse_engineering.run()
+        assert set(results.observations) == {
+            "listing2_single_slot",
+            "listing3_independent_fields",
+            "listing4_no_interference",
+            "huge_page_conflict",
+            "cross_page_behavior",
+            "batch_fetcher_bypass",
+            "fig5_indexing",
+            "listing5_arbiter",
+            "listing6_swq_arithmetic",
+        }

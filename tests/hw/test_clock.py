@@ -1,0 +1,84 @@
+"""Unit tests for the TSC clock model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hw.clock import RDTSC_OVERHEAD_CYCLES, TscClock
+from repro.hw.units import DEFAULT_TSC_HZ
+
+
+class TestTscClock:
+    def test_starts_at_zero(self):
+        assert TscClock().now == 0
+
+    def test_rdtsc_charges_overhead(self):
+        clock = TscClock()
+        first = clock.rdtsc()
+        second = clock.rdtsc()
+        assert first == RDTSC_OVERHEAD_CYCLES
+        assert second - first == RDTSC_OVERHEAD_CYCLES
+
+    def test_back_to_back_rdtsc_never_zero_interval(self):
+        clock = TscClock()
+        assert clock.rdtsc() < clock.rdtsc()
+
+    def test_advance_returns_new_time(self):
+        clock = TscClock()
+        assert clock.advance(100) == 100
+        assert clock.now == 100
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TscClock().advance(-1)
+
+    def test_advance_us_uses_frequency(self):
+        clock = TscClock(freq_hz=DEFAULT_TSC_HZ)
+        clock.advance_us(10)
+        assert clock.now == 20_000  # 10 us at 2 GHz
+
+    def test_advance_to_future(self):
+        clock = TscClock()
+        clock.advance_to(500)
+        assert clock.now == 500
+
+    def test_advance_to_past_is_noop(self):
+        clock = TscClock()
+        clock.advance(1000)
+        clock.advance_to(500)
+        assert clock.now == 1000
+
+    def test_now_us_conversion(self):
+        clock = TscClock(freq_hz=2_000_000_000)
+        clock.advance(2_000_000)
+        assert clock.now_us == pytest.approx(1000.0)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            TscClock(freq_hz=0)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            TscClock(rdtsc_overhead=-1)
+
+    def test_repr_mentions_time(self):
+        clock = TscClock()
+        clock.advance(42)
+        assert "42" in repr(clock)
+
+
+class TestClockProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), max_size=50))
+    def test_monotonic_under_any_advance_sequence(self, steps):
+        clock = TscClock()
+        previous = clock.now
+        for step in steps:
+            clock.advance(step)
+            assert clock.now >= previous
+            previous = clock.now
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_advance_is_exact(self, cycles):
+        clock = TscClock()
+        clock.advance(cycles)
+        assert clock.now == cycles

@@ -1,0 +1,146 @@
+"""Unit and property tests for physical memory and the frame allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OutOfMemoryError
+from repro.hw.memory import PhysicalMemory
+from repro.hw.units import HUGE_PAGE_SIZE, MIB, PAGE_SIZE
+
+
+@pytest.fixture
+def memory():
+    return PhysicalMemory(total_bytes=64 * MIB)
+
+
+class TestAllocation:
+    def test_allocation_is_page_aligned(self, memory):
+        rng = memory.allocate(100)
+        assert rng.base % PAGE_SIZE == 0
+        assert rng.size == PAGE_SIZE
+
+    def test_huge_allocation_is_huge_aligned(self, memory):
+        rng = memory.allocate(HUGE_PAGE_SIZE, huge=True)
+        assert rng.base % HUGE_PAGE_SIZE == 0
+        assert rng.size == HUGE_PAGE_SIZE
+        assert rng.huge
+
+    def test_allocations_do_not_overlap(self, memory):
+        a = memory.allocate(3 * PAGE_SIZE)
+        b = memory.allocate(2 * PAGE_SIZE)
+        assert a.end <= b.base or b.end <= a.base
+
+    def test_out_of_memory(self):
+        small = PhysicalMemory(total_bytes=4 * PAGE_SIZE)
+        small.allocate(4 * PAGE_SIZE)
+        with pytest.raises(OutOfMemoryError):
+            small.allocate(PAGE_SIZE)
+
+    def test_zero_size_rejected(self, memory):
+        with pytest.raises(ValueError):
+            memory.allocate(0)
+
+    def test_free_allows_reuse_of_small_pages(self, memory):
+        rng = memory.allocate(PAGE_SIZE)
+        memory.free(rng)
+        again = memory.allocate(PAGE_SIZE)
+        assert again.base == rng.base
+
+    def test_double_free_rejected(self, memory):
+        rng = memory.allocate(PAGE_SIZE)
+        memory.free(rng)
+        with pytest.raises(ValueError):
+            memory.free(rng)
+
+    def test_allocated_bytes_tracks(self, memory):
+        memory.allocate(PAGE_SIZE)
+        memory.allocate(2 * PAGE_SIZE)
+        assert memory.allocated_bytes == 3 * PAGE_SIZE
+
+    def test_range_contains(self, memory):
+        rng = memory.allocate(PAGE_SIZE)
+        assert rng.base in rng
+        assert rng.end not in rng
+
+    def test_memory_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(total_bytes=100)
+
+
+class TestDataAccess:
+    def test_read_untouched_memory_is_zero(self, memory):
+        rng = memory.allocate(PAGE_SIZE)
+        assert memory.read(rng.base, 16) == bytes(16)
+
+    def test_write_then_read(self, memory):
+        rng = memory.allocate(PAGE_SIZE)
+        memory.write(rng.base + 10, b"hello")
+        assert memory.read(rng.base + 10, 5) == b"hello"
+
+    def test_write_spanning_frames(self, memory):
+        rng = memory.allocate(2 * PAGE_SIZE)
+        data = bytes(range(256)) * 20
+        start = rng.base + PAGE_SIZE - 100
+        memory.write(start, data)
+        assert memory.read(start, len(data)) == data
+
+    def test_fill(self, memory):
+        rng = memory.allocate(PAGE_SIZE)
+        memory.fill(rng.base, 64, 0xAB)
+        assert memory.read(rng.base, 64) == b"\xab" * 64
+
+    def test_fill_invalid_value(self, memory):
+        rng = memory.allocate(PAGE_SIZE)
+        with pytest.raises(ValueError):
+            memory.fill(rng.base, 4, 300)
+
+    def test_out_of_bounds_read(self, memory):
+        with pytest.raises(ValueError):
+            memory.read(memory.total_bytes - 1, 2)
+
+    def test_out_of_bounds_write(self, memory):
+        with pytest.raises(ValueError):
+            memory.write(memory.total_bytes, b"x")
+
+    def test_free_drops_contents(self, memory):
+        rng = memory.allocate(PAGE_SIZE)
+        memory.write(rng.base, b"secret")
+        memory.free(rng)
+        again = memory.allocate(PAGE_SIZE)
+        assert again.base == rng.base
+        assert memory.read(again.base, 6) == bytes(6)
+
+
+class TestMemoryProperties:
+    @given(
+        offsets_and_data=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3 * PAGE_SIZE),
+                st.binary(min_size=1, max_size=300),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_last_write_wins(self, offsets_and_data):
+        memory = PhysicalMemory(total_bytes=16 * MIB)
+        rng = memory.allocate(4 * PAGE_SIZE)
+        shadow = bytearray(4 * PAGE_SIZE)
+        for offset, data in offsets_and_data:
+            data = data[: 4 * PAGE_SIZE - offset]
+            if not data:
+                continue
+            memory.write(rng.base + offset, data)
+            shadow[offset : offset + len(data)] = data
+        assert memory.read(rng.base, len(shadow)) == bytes(shadow)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_mixed_allocations_never_overlap(self, huge_flags):
+        memory = PhysicalMemory(total_bytes=256 * MIB)
+        ranges = [memory.allocate(PAGE_SIZE, huge=huge) for huge in huge_flags]
+        ranges.sort(key=lambda r: r.base)
+        for first, second in zip(ranges, ranges[1:]):
+            assert first.end <= second.base

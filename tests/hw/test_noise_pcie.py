@@ -1,0 +1,108 @@
+"""Unit tests for noise models and the PCIe link."""
+
+import numpy as np
+import pytest
+
+from repro.hw.noise import Environment, noise_model_for
+from repro.hw.pcie import (
+    BASE_ROUND_TRIP_CYCLES,
+    PcieLink,
+    TransactionKind,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestNoiseModels:
+    def test_all_environments_have_models(self):
+        for env in Environment:
+            assert noise_model_for(env).environment is env
+
+    def test_noisy_flag(self):
+        assert Environment.LOCAL_NOISE.noisy
+        assert Environment.CLOUD_NOISE.noisy
+        assert not Environment.LOCAL.noisy
+        assert not Environment.CLOUD.noisy
+
+    def test_cloud_noise_shift_matches_paper(self, rng):
+        """Paper: Cloud+Noise shifts latency by ~89 cycles on average."""
+        model = noise_model_for(Environment.CLOUD_NOISE)
+        samples = model.sample_many(rng, 20_000)
+        local = noise_model_for(Environment.LOCAL).sample_many(rng, 20_000)
+        shift = samples.mean() - local.mean()
+        assert 75 <= shift <= 115
+
+    def test_local_is_zero_centered(self, rng):
+        model = noise_model_for(Environment.LOCAL)
+        samples = model.sample_many(rng, 20_000)
+        assert abs(samples.mean()) < 10
+
+    def test_sample_many_matches_sample_distribution(self, rng):
+        model = noise_model_for(Environment.LOCAL_NOISE)
+        singles = np.array([model.sample(rng) for _ in range(5_000)])
+        batch = model.sample_many(rng, 5_000)
+        assert abs(singles.mean() - batch.mean()) < 10
+        assert abs(singles.std() - batch.std()) < 20
+
+    def test_noise_ordering(self, rng):
+        """Noisier environments shift the mean upward."""
+        means = {
+            env: noise_model_for(env).sample_many(rng, 10_000).mean()
+            for env in Environment
+        }
+        assert means[Environment.LOCAL] < means[Environment.CLOUD]
+        assert means[Environment.CLOUD] < means[Environment.CLOUD_NOISE]
+        assert means[Environment.LOCAL] < means[Environment.LOCAL_NOISE]
+
+
+class TestPcieLink:
+    def test_transaction_counts(self, rng):
+        link = PcieLink(rng=rng)
+        link.transaction_cycles(TransactionKind.POSTED_WRITE)
+        link.transaction_cycles(TransactionKind.NON_POSTED_READ)
+        link.transaction_cycles(TransactionKind.DMWR)
+        link.transaction_cycles(TransactionKind.DMWR)
+        assert link.stats.posted_writes == 1
+        assert link.stats.non_posted_reads == 1
+        assert link.stats.dmwr == 2
+        assert link.stats.count(TransactionKind.DMWR) == 2
+        assert link.stats.count(TransactionKind.POSTED_WRITE) == 1
+        assert link.stats.count(TransactionKind.NON_POSTED_READ) == 1
+
+    def test_latency_has_floor(self, rng):
+        link = PcieLink(rng=rng)
+        for _ in range(1000):
+            cycles = link.transaction_cycles(TransactionKind.POSTED_WRITE)
+            assert cycles >= BASE_ROUND_TRIP_CYCLES // 2
+
+    def test_non_posted_slower_on_average(self, rng):
+        link = PcieLink(rng=rng)
+        posted = np.mean(
+            [link.transaction_cycles(TransactionKind.POSTED_WRITE) for _ in range(2000)]
+        )
+        non_posted = np.mean(
+            [link.transaction_cycles(TransactionKind.NON_POSTED_READ) for _ in range(2000)]
+        )
+        assert non_posted > posted
+
+    def test_set_environment_changes_noise(self, rng):
+        link = PcieLink(rng=rng)
+        quiet = np.mean(
+            [link.transaction_cycles(TransactionKind.DMWR) for _ in range(3000)]
+        )
+        link.set_environment(Environment.CLOUD_NOISE)
+        assert link.noise.environment is Environment.CLOUD_NOISE
+        noisy = np.mean(
+            [link.transaction_cycles(TransactionKind.DMWR) for _ in range(3000)]
+        )
+        assert noisy > quiet + 40
+
+    def test_total_cycles_accumulates(self, rng):
+        link = PcieLink(rng=rng)
+        spent = sum(
+            link.transaction_cycles(TransactionKind.POSTED_WRITE) for _ in range(10)
+        )
+        assert link.stats.total_cycles == spent

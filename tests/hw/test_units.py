@@ -1,0 +1,70 @@
+"""Unit tests for constants and conversions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hw import units
+
+
+class TestPageHelpers:
+    def test_page_number(self):
+        assert units.page_number(0) == 0
+        assert units.page_number(0xFFF) == 0
+        assert units.page_number(0x1000) == 1
+
+    def test_page_offset(self):
+        assert units.page_offset(0x1234) == 0x234
+
+    def test_huge_page_number(self):
+        assert units.huge_page_number(units.HUGE_PAGE_SIZE) == 1
+
+    def test_page_size_constants(self):
+        assert units.PAGE_SIZE == 4096
+        assert units.HUGE_PAGE_SIZE == 2 * units.MIB
+
+
+class TestAlignment:
+    def test_align_up(self):
+        assert units.align_up(1, 4096) == 4096
+        assert units.align_up(4096, 4096) == 4096
+        assert units.align_up(4097, 4096) == 8192
+
+    def test_align_down(self):
+        assert units.align_down(4097, 4096) == 4096
+
+    def test_is_aligned(self):
+        assert units.is_aligned(8192, 4096)
+        assert not units.is_aligned(8193, 4096)
+
+    @pytest.mark.parametrize("func", [units.align_up, units.align_down, units.is_aligned])
+    def test_zero_alignment_rejected(self, func):
+        with pytest.raises(ValueError):
+            func(10, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=2**48),
+        st.sampled_from([1, 64, 4096, 2 * units.MIB]),
+    )
+    def test_align_up_properties(self, value, alignment):
+        aligned = units.align_up(value, alignment)
+        assert aligned >= value
+        assert aligned % alignment == 0
+        assert aligned - value < alignment
+
+
+class TestTimeConversions:
+    def test_roundtrip_us(self):
+        assert units.cycles_to_us(units.us_to_cycles(10)) == pytest.approx(10)
+
+    def test_seconds(self):
+        assert units.seconds_to_cycles(1.0) == units.DEFAULT_TSC_HZ
+        assert units.cycles_to_seconds(units.DEFAULT_TSC_HZ) == pytest.approx(1.0)
+
+    def test_us_to_cycles_at_2ghz(self):
+        assert units.us_to_cycles(1) == 2000
+
+    @given(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+    def test_conversion_roundtrip_close(self, microseconds):
+        cycles = units.us_to_cycles(microseconds)
+        assert units.cycles_to_us(cycles) == pytest.approx(microseconds, abs=1e-3)

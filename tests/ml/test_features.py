@@ -1,0 +1,91 @@
+"""Tests for engineered features and multi-trace voting."""
+
+import numpy as np
+import pytest
+
+from repro.ml.baseline import LogisticRegressionClassifier
+from repro.ml.features import MultiTraceVoter, summary_features
+from repro.ml.metrics import accuracy
+from repro.ml.model import AttentionBiLstmClassifier
+from repro.ml.train import TrainConfig, Trainer
+
+from tests.ml.test_model_train import synthetic_traces
+
+
+class TestSummaryFeatures:
+    def test_shape(self):
+        x = np.random.default_rng(0).poisson(2.0, size=(7, 50)).astype(float)
+        features = summary_features(x, spectrum_bins=8)
+        assert features.shape == (7, 8 + 8 + 3)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            summary_features(np.zeros(10))
+
+    def test_total_and_peak_columns(self):
+        x = np.array([[0.0, 3.0, 1.0, 0.0]])
+        features = summary_features(x)
+        assert features[0, 0] == 4.0  # total
+        assert features[0, 3] == 3.0  # peak
+
+    def test_quiet_trace_is_finite(self):
+        features = summary_features(np.zeros((2, 30)))
+        assert np.all(np.isfinite(features))
+
+    def test_burst_count(self):
+        x = np.array([[0, 1, 1, 0, 2, 0, 3, 0]], dtype=float)
+        features = summary_features(x)
+        assert features[0, 5] == 3.0  # three 0->active transitions
+
+    def test_features_separate_synthetic_classes(self):
+        x, y = synthetic_traces(classes=3, per_class=20, steps=40, seed=2)
+        model = LogisticRegressionClassifier(epochs=200).fit(summary_features(x), y)
+        assert accuracy(y, model.predict(summary_features(x))) > 0.9
+
+    def test_short_traces_pad_spectrum(self):
+        features = summary_features(np.ones((2, 6)), spectrum_bins=8)
+        assert features.shape[1] == 8 + 8 + 3
+
+
+class TestMultiTraceVoter:
+    def _fitted_trainer(self):
+        x, y = synthetic_traces(classes=3, per_class=12, steps=24, seed=9)
+        model = AttentionBiLstmClassifier(
+            classes=3, hidden=8, dropout=0.0, rng=np.random.default_rng(4)
+        )
+        trainer = Trainer(model, TrainConfig(epochs=25, batch_size=12))
+        trainer.fit(x, y)
+        return trainer
+
+    def test_from_unfitted_trainer_raises(self):
+        model = AttentionBiLstmClassifier(classes=2, hidden=4)
+        trainer = Trainer(model)
+        with pytest.raises(RuntimeError):
+            MultiTraceVoter.from_trainer(trainer)
+
+    def test_vote_on_fresh_traces(self):
+        trainer = self._fitted_trainer()
+        voter = MultiTraceVoter.from_trainer(trainer)
+        x, y = synthetic_traces(classes=3, per_class=5, steps=24, seed=77)
+        votes = [voter.predict(x[y == cls][:5]) for cls in range(3)]
+        assert votes == [0, 1, 2]
+
+    def test_voting_at_least_as_good_as_singles(self):
+        trainer = self._fitted_trainer()
+        voter = MultiTraceVoter.from_trainer(trainer)
+        x, y = synthetic_traces(classes=3, per_class=9, steps=24, seed=55)
+        single_correct = 0
+        voted_correct = 0
+        for cls in range(3):
+            group = x[y == cls]
+            singles = [voter.predict(group[i]) == cls for i in range(len(group))]
+            single_correct += np.mean(singles)
+            voted_correct += voter.predict(group) == cls
+        assert voted_correct / 3 >= single_correct / 3 - 1e-9
+
+    def test_confidence_in_unit_interval(self):
+        trainer = self._fitted_trainer()
+        voter = MultiTraceVoter.from_trainer(trainer)
+        x, _ = synthetic_traces(classes=3, per_class=2, steps=24, seed=8)
+        confidence = voter.confidence(x[:2])
+        assert 0.0 < confidence <= 1.0

@@ -1,0 +1,79 @@
+"""Tests for open-world classification."""
+
+import numpy as np
+import pytest
+
+from repro.ml.model import AttentionBiLstmClassifier
+from repro.ml.openworld import UNKNOWN, OpenWorldClassifier
+from repro.ml.train import TrainConfig, Trainer
+
+from tests.ml.test_model_train import synthetic_traces
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    x, y = synthetic_traces(classes=3, per_class=14, steps=24, seed=40)
+    model = AttentionBiLstmClassifier(
+        classes=3, hidden=8, dropout=0.0, rng=np.random.default_rng(2)
+    )
+    # Train past the early-stop point so the softmax sharpens — an
+    # open-world threshold needs calibrated confidence, not just accuracy.
+    trainer = Trainer(
+        model,
+        TrainConfig(epochs=80, batch_size=12, early_stop_train_accuracy=1.01),
+    )
+    trainer.fit(x, y)
+    return trainer
+
+
+def unknown_traces(count=12, steps=24, seed=123):
+    """Traces from a class the model never saw (pure noise bursts)."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0, 0.3, size=(count, steps))
+    x += rng.uniform(1.0, 2.5, size=(count, 1))  # flat elevated level
+    return x
+
+
+class TestOpenWorldClassifier:
+    def test_invalid_threshold_rejected(self, fitted):
+        with pytest.raises(ValueError):
+            OpenWorldClassifier.from_trainer(fitted, threshold=0.0)
+
+    def test_unfitted_trainer_rejected(self):
+        trainer = Trainer(AttentionBiLstmClassifier(classes=2, hidden=4))
+        with pytest.raises(RuntimeError):
+            OpenWorldClassifier.from_trainer(trainer)
+
+    def test_known_traces_still_classified(self, fitted):
+        open_world = OpenWorldClassifier.from_trainer(fitted, threshold=0.5)
+        x, y = synthetic_traces(classes=3, per_class=5, steps=24, seed=88)
+        predictions = open_world.predict(x)
+        accepted = predictions != UNKNOWN
+        assert accepted.mean() > 0.7
+        assert (predictions[accepted] == y[accepted]).mean() > 0.8
+
+    def test_high_threshold_rejects_everything(self, fitted):
+        open_world = OpenWorldClassifier.from_trainer(fitted, threshold=0.999999)
+        x, _ = synthetic_traces(classes=3, per_class=3, steps=24, seed=5)
+        assert np.all(open_world.predict(x) == UNKNOWN)
+
+    def test_calibration_meets_recall_target(self, fitted):
+        open_world = OpenWorldClassifier.from_trainer(fitted)
+        x, _ = synthetic_traces(classes=3, per_class=10, steps=24, seed=66)
+        open_world.calibrate_threshold(x, target_known_recall=0.9)
+        predictions = open_world.predict(x)
+        assert (predictions != UNKNOWN).mean() >= 0.9 - 1e-9
+
+    def test_calibration_target_validated(self, fitted):
+        open_world = OpenWorldClassifier.from_trainer(fitted)
+        with pytest.raises(ValueError):
+            open_world.calibrate_threshold(np.zeros((3, 24)), target_known_recall=0)
+
+    def test_evaluate_scores(self, fitted):
+        open_world = OpenWorldClassifier.from_trainer(fitted)
+        known_x, known_y = synthetic_traces(classes=3, per_class=8, steps=24, seed=91)
+        open_world.calibrate_threshold(known_x, target_known_recall=0.85)
+        scores = open_world.evaluate(known_x, known_y, unknown_traces())
+        assert 0.0 <= scores.known_accuracy <= 1.0
+        assert 0.0 <= scores.unknown_rejection_rate <= 1.0
+        assert scores.balanced > 0.5  # better than guessing on both axes

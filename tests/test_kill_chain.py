@@ -1,0 +1,100 @@
+"""End-to-end kill chain: recon -> primitive -> secret recovery.
+
+The full attacker story from Section VI, in one integration test: the
+attacker lands on a multi-engine host with no knowledge of the victim's
+placement, locates the victim's engine by triggering activity, then runs
+the keystroke attack on the located queue and recovers typing times.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.keystroke_eval import evaluate_keystrokes
+from repro.core.devtlb_attack import DsaDevTlbAttack
+from repro.core.recon import find_victim_engine
+from repro.dsa.descriptor import make_noop
+from repro.dsa.wq import WorkQueueConfig, WqMode
+from repro.hw.units import us_to_cycles
+from repro.virt.system import CloudSystem
+from repro.workloads.dto import DtoRuntime
+from repro.workloads.ssh import SshKeystrokeSession
+
+
+@pytest.fixture
+def host():
+    """Three engines; the victim sits on WQ 2 (engine 2)."""
+    system = CloudSystem(seed=2024)
+    device = system.device
+    for engine in range(3):
+        device.configure_group(engine, (engine,))
+        device.configure_wq(
+            WorkQueueConfig(wq_id=engine, size=16, mode=WqMode.SHARED, group_id=engine)
+        )
+    attacker = system.create_vm("attacker-vm").spawn_process("attacker")
+    victim = system.create_vm("victim-vm").spawn_process("victim")
+    for wq in range(3):
+        system.open_portal(attacker, wq)
+    system.open_portal(victim, 2)
+    return system, attacker, victim
+
+
+class TestKillChain:
+    def test_recon_then_keystroke_recovery(self, host):
+        system, attacker, victim = host
+
+        # Phase 1 — reconnaissance: a temporary connection provokes the
+        # victim; the attacker scans all three engines.
+        v_portal = victim.portal(2)
+        v_comp = victim.comp_record()
+
+        def temporary_connection():
+            v_portal.enqcmd(make_noop(victim.pasid, v_comp))
+
+        recon = find_victim_engine(
+            attacker, [0, 1, 2], temporary_connection, system.timeline, windows=5
+        )
+        assert recon.confident
+        target_wq = recon.best.wq_id
+        assert target_wq == 2
+
+        # Phase 2 — the victim types over SSH with DTO enabled.
+        dto = DtoRuntime(victim, wq_id=2)
+        session = SshKeystrokeSession(dto, np.random.default_rng(7))
+        truth_events = session.schedule_typing(
+            system.timeline, "cat /etc/shadow" * 3, system.clock.now
+        )
+        start = system.clock.now
+        truth = np.array([start + us_to_cycles(e.time_us) for e in truth_events])
+
+        # Phase 3 — Prime+Probe on the located engine.
+        attack = DsaDevTlbAttack(attacker, wq_id=target_wq)
+        attack.calibrate(samples=40)
+        attack.prime()
+        period = us_to_cycles(4_000)
+        detected = []
+        while system.clock.now < truth[-1] + 4 * period:
+            system.timeline.idle_until(system.clock.now + period)
+            outcome = attack.probe()
+            if outcome.evicted:
+                detected.append(outcome.timestamp - period // 2)
+
+        evaluation = evaluate_keystrokes(truth, np.array(detected))
+        assert evaluation.f1 > 0.9
+        assert evaluation.timestamp_std_ms < 2.0
+
+    def test_wrong_engine_recovers_nothing(self, host):
+        """Control: probing a non-victim engine yields no events."""
+        system, attacker, victim = host
+        dto = DtoRuntime(victim, wq_id=2)
+        session = SshKeystrokeSession(dto, np.random.default_rng(8))
+        session.schedule_typing(system.timeline, "ls -la", system.clock.now)
+
+        attack = DsaDevTlbAttack(attacker, wq_id=0)  # wrong engine
+        attack.calibrate(samples=30)
+        attack.prime()
+        period = us_to_cycles(4_000)
+        detections = 0
+        for _ in range(400):
+            system.timeline.idle_until(system.clock.now + period)
+            detections += attack.probe().evicted
+        assert detections == 0

@@ -1,0 +1,104 @@
+"""Tests for the accel-config topology loader."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.dsa.device import DsaDevice, DsaDeviceConfig
+from repro.dsa.wq import WqMode
+from repro.errors import ConfigurationError, QueueConfigurationError
+from repro.hw.clock import TscClock
+from repro.hw.memory import PhysicalMemory
+from repro.tools.config_loader import apply_topology, dump_topology, load_topology
+
+VALID = {
+    "groups": [
+        {"id": 0, "engines": [0, 1]},
+        {"id": 1, "engines": [2]},
+    ],
+    "work_queues": [
+        {"id": 0, "size": 64, "mode": "shared", "priority": 4, "group": 0},
+        {"id": 1, "size": 32, "mode": "dedicated", "group": 1},
+    ],
+}
+
+
+def fresh_device():
+    return DsaDevice(
+        PhysicalMemory(), TscClock(), np.random.default_rng(0),
+        DsaDeviceConfig(engine_count=4),
+    )
+
+
+class TestLoadTopology:
+    def test_from_dict(self):
+        topology = load_topology(VALID)
+        assert len(topology.groups) == 2
+        assert topology.work_queues[1].mode is WqMode.DEDICATED
+
+    def test_from_json_string(self):
+        topology = load_topology(json.dumps(VALID))
+        assert topology.work_queues[0].size == 64
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "topology.json"
+        path.write_text(json.dumps(VALID))
+        topology = load_topology(path)
+        assert topology.work_queues[0].priority == 4
+
+    def test_garbage_source_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_topology("not json and not a file")
+
+    def test_missing_groups_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_topology({"work_queues": VALID["work_queues"]})
+
+    def test_missing_queues_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_topology({"groups": VALID["groups"]})
+
+    def test_undeclared_group_reference_rejected(self):
+        bad = {
+            "groups": [{"id": 0, "engines": [0]}],
+            "work_queues": [{"id": 0, "size": 8, "group": 7}],
+        }
+        with pytest.raises(ConfigurationError):
+            load_topology(bad)
+
+    def test_unknown_mode_rejected(self):
+        bad = {
+            "groups": [{"id": 0, "engines": [0]}],
+            "work_queues": [{"id": 0, "size": 8, "group": 0, "mode": "turbo"}],
+        }
+        with pytest.raises(ConfigurationError):
+            load_topology(bad)
+
+
+class TestApplyTopology:
+    def test_apply_configures_device(self):
+        device = fresh_device()
+        apply_topology(device, VALID)
+        assert device.wq(0).config.size == 64
+        assert device.group_of_wq(1).engine_ids == (2,)
+
+    def test_oversubscribed_queue_storage_rejected_by_device(self):
+        device = fresh_device()
+        bad = {
+            "groups": [{"id": 0, "engines": [0]}],
+            "work_queues": [
+                {"id": 0, "size": 100, "group": 0},
+                {"id": 1, "size": 100, "group": 0},
+            ],
+        }
+        with pytest.raises(QueueConfigurationError):
+            apply_topology(device, bad)
+
+    def test_roundtrip_through_dump(self):
+        device = fresh_device()
+        apply_topology(device, VALID)
+        dumped = dump_topology(device)
+        second = fresh_device()
+        apply_topology(second, dumped)
+        assert dump_topology(second) == dumped

@@ -1,0 +1,94 @@
+"""Tests for the dsa-perf-micros equivalent."""
+
+import numpy as np
+import pytest
+
+from repro.dsa.opcodes import Opcode
+from repro.tools.perf_micros import PerfMicros, format_results
+from repro.virt.system import AttackTopology, CloudSystem
+
+
+@pytest.fixture
+def micros():
+    system = CloudSystem(seed=61)
+    system.setup_topology(AttackTopology.E0_SHARED_WQ_SHARED_ENGINE, wq_size=16)
+    return PerfMicros(system.vms["victim-vm"].process("victim"), wq_id=0)
+
+
+class TestLatencySweep:
+    def test_latency_result_fields(self, micros):
+        result = micros.latency(Opcode.MEMMOVE, 4096, iterations=20)
+        assert result.mean_latency_cycles > 0
+        assert result.throughput_gbps > 0
+        assert result.ops_per_second > 0
+
+    def test_throughput_grows_with_size(self, micros):
+        small = micros.latency(Opcode.MEMMOVE, 256, iterations=20)
+        big = micros.latency(Opcode.MEMMOVE, 65536, iterations=20)
+        assert big.throughput_gbps > 5 * small.throughput_gbps
+
+    @pytest.mark.parametrize(
+        "opcode",
+        [Opcode.MEMMOVE, Opcode.FILL, Opcode.COMPARE, Opcode.CRCGEN, Opcode.DUALCAST],
+    )
+    def test_all_supported_opcodes(self, micros, opcode):
+        result = micros.latency(opcode, 1024, iterations=10)
+        assert result.opcode is opcode
+        assert np.isfinite(result.mean_latency_cycles)
+
+    def test_unsupported_opcode_rejected(self, micros):
+        with pytest.raises(ValueError):
+            micros.latency(Opcode.DRAIN, 64)
+
+    def test_sweep_shape(self, micros):
+        results = micros.sweep(
+            opcodes=(Opcode.MEMMOVE, Opcode.FILL), sizes=(256, 4096), iterations=10
+        )
+        assert len(results) == 4
+        table = format_results(results)
+        assert "MEMMOVE" in table
+        assert "GB/s" in table
+
+
+class TestQueueDepth:
+    def test_depth_improves_small_op_throughput(self, micros):
+        """Submission latency overlaps execution at depth > 1."""
+        serial = micros.queue_depth_throughput(2048, depth=1, iterations=40)
+        deep = micros.queue_depth_throughput(2048, depth=8, iterations=40)
+        assert deep.ops_per_second > serial.ops_per_second
+
+    def test_invalid_depth_rejected(self, micros):
+        with pytest.raises(ValueError):
+            micros.queue_depth_throughput(1024, depth=0)
+
+
+class TestBatching:
+    def test_batch_beats_serial_for_tiny_ops(self, micros):
+        """One submission for N copies amortizes the portal cost.
+
+        The serial baseline must rotate completion records like the batch
+        children do (distinct records are mandatory within a batch), so
+        both sides see the same DevTLB comp-entry behavior and the
+        difference isolates the submission amortization.
+        """
+        from repro.dsa.descriptor import make_memcpy
+
+        process = micros.process
+        src = process.buffer(4096)
+        dst = process.buffer(4096)
+        comps = [process.comp_record() for _ in range(8)]
+        clock = micros.portal.clock
+        started = clock.now
+        iterations = 16
+        for i in range(iterations):
+            micros.portal.submit_wait(
+                make_memcpy(process.pasid, src, dst, 512, comps[i % 8])
+            )
+        serial_ops = iterations / ((clock.now - started) / clock.freq_hz)
+
+        batched = micros.batch_throughput(512, batch_size=8, batches=2)
+        assert batched.ops_per_second > serial_ops
+
+    def test_invalid_batch_rejected(self, micros):
+        with pytest.raises(ValueError):
+            micros.batch_throughput(512, batch_size=0)

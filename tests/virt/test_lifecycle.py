@@ -1,0 +1,62 @@
+"""Process teardown lifecycle — and the DevTLB residue it leaves."""
+
+import pytest
+
+from repro.ats.devtlb import FieldType
+from repro.dsa.descriptor import make_noop
+from repro.errors import ConfigurationError
+from repro.virt.system import AttackTopology, CloudSystem
+
+
+class TestDestroyProcess:
+    def test_pasid_recycled_and_bindings_removed(self):
+        system = CloudSystem(seed=31)
+        vm = system.create_vm("vm1")
+        proc = vm.spawn_process("worker")
+        pasid = proc.pasid
+        system.destroy_process(proc)
+        assert not system.device.pasid_table.is_bound(pasid)
+        assert not system.pasid_allocator.is_live(pasid)
+        with pytest.raises(ConfigurationError):
+            vm.process("worker")
+        # The PASID can be handed to a new process.
+        fresh = vm.spawn_process("worker2")
+        assert fresh.pasid == pasid
+
+    def test_double_destroy_rejected(self):
+        system = CloudSystem(seed=32)
+        proc = system.create_vm("vm1").spawn_process("p")
+        system.destroy_process(proc)
+        with pytest.raises(ConfigurationError):
+            system.destroy_process(proc)
+
+    def test_iotlb_scrubbed_on_teardown(self):
+        system = CloudSystem(seed=33)
+        handles = system.setup_topology(AttackTopology.E0_SHARED_WQ_SHARED_ENGINE)
+        victim = handles.victim
+        comp = victim.comp_record()
+        victim.portal(0).submit_wait(make_noop(victim.pasid, comp))
+        assert system.device.agent.iotlb.occupancy > 0
+        before = system.device.agent.iotlb.occupancy
+        system.destroy_process(victim)
+        assert system.device.agent.iotlb.occupancy < before
+
+    def test_devtlb_residue_survives_teardown(self):
+        """The vulnerability's afterlife: the dead victim's translation
+        stays in the DevTLB, and the attacker can still read its
+        presence (a hit on a fresh probe would be absent otherwise)."""
+        system = CloudSystem(seed=34)
+        handles = system.setup_topology(AttackTopology.E1_SEPARATE_WQ_SHARED_ENGINE)
+        victim = handles.victim
+        v_comp = victim.comp_record()
+        victim.portal(handles.victim_wq).submit_wait(
+            make_noop(victim.pasid, v_comp)
+        )
+        victim_page = v_comp >> 12
+        dead_pasid = victim.pasid
+        system.destroy_process(victim)
+        devtlb = system.device.devtlb
+        assert victim_page in devtlb.cached_pages(0, FieldType.COMP)
+        # ... and since sub-entries carry no PASID tag, any process "hits"
+        # on the dead process's page number.
+        assert devtlb.peek(0, FieldType.COMP, victim_page, handles.attacker.pasid)

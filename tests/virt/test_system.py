@@ -1,0 +1,183 @@
+"""Tests for VMs, processes, portal mapping, and the attack topologies."""
+
+import pytest
+
+from repro.dsa.completion import CompletionStatus
+from repro.dsa.descriptor import make_noop
+from repro.errors import ConfigurationError
+from repro.virt.system import AttackTopology, CloudSystem
+
+
+class TestVmLifecycle:
+    def test_create_vm_and_process(self):
+        system = CloudSystem()
+        vm = system.create_vm("vm1")
+        proc = vm.spawn_process("worker")
+        assert proc.pasid >= 1
+        assert vm.process("worker") is proc
+
+    def test_duplicate_vm_rejected(self):
+        system = CloudSystem()
+        system.create_vm("vm1")
+        with pytest.raises(ConfigurationError):
+            system.create_vm("vm1")
+
+    def test_duplicate_process_rejected(self):
+        system = CloudSystem()
+        vm = system.create_vm("vm1")
+        vm.spawn_process("p")
+        with pytest.raises(ConfigurationError):
+            vm.spawn_process("p")
+
+    def test_unknown_process_rejected(self):
+        system = CloudSystem()
+        vm = system.create_vm("vm1")
+        with pytest.raises(ConfigurationError):
+            vm.process("ghost")
+
+    def test_processes_get_distinct_pasids(self):
+        system = CloudSystem()
+        vm1 = system.create_vm("vm1")
+        vm2 = system.create_vm("vm2")
+        a = vm1.spawn_process("a")
+        b = vm2.spawn_process("b")
+        assert a.pasid != b.pasid
+
+    def test_vm_memory_isolation(self):
+        """Same VA in two VMs maps to different physical frames."""
+        system = CloudSystem()
+        a = system.create_vm("vm1").spawn_process("a")
+        b = system.create_vm("vm2").spawn_process("b")
+        va_a = a.buffer()
+        va_b = b.buffer()
+        a.write(va_a, b"AAAA")
+        b.write(va_b, b"BBBB")
+        assert a.read(va_a, 4) == b"AAAA"
+        assert b.read(va_b, 4) == b"BBBB"
+
+    def test_unopened_portal_rejected(self):
+        system = CloudSystem()
+        proc = system.create_vm("vm1").spawn_process("p")
+        with pytest.raises(ConfigurationError):
+            proc.portal(0)
+
+
+class TestTopologies:
+    def test_e0_shares_queue(self):
+        system = CloudSystem()
+        handles = system.setup_topology(AttackTopology.E0_SHARED_WQ_SHARED_ENGINE)
+        assert handles.attacker_wq == handles.victim_wq
+        assert handles.shared_engine
+
+    def test_e1_separate_queues_same_engine(self):
+        system = CloudSystem()
+        handles = system.setup_topology(AttackTopology.E1_SEPARATE_WQ_SHARED_ENGINE)
+        assert handles.attacker_wq != handles.victim_wq
+        device = system.device
+        assert (
+            device.group_of_wq(handles.attacker_wq).engine_ids
+            == device.group_of_wq(handles.victim_wq).engine_ids
+        )
+
+    def test_e2_separate_engines(self):
+        system = CloudSystem()
+        handles = system.setup_topology(AttackTopology.E2_SEPARATE_WQ_SEPARATE_ENGINE)
+        device = system.device
+        attacker_engines = set(device.group_of_wq(handles.attacker_wq).engine_ids)
+        victim_engines = set(device.group_of_wq(handles.victim_wq).engine_ids)
+        assert attacker_engines.isdisjoint(victim_engines)
+
+    @pytest.mark.parametrize("topology", list(AttackTopology))
+    def test_both_processes_can_submit(self, topology):
+        system = CloudSystem()
+        handles = system.setup_topology(topology)
+        for proc in (handles.attacker, handles.victim):
+            comp = proc.comp_record()
+            result = proc.portal(
+                handles.attacker_wq if proc is handles.attacker else handles.victim_wq
+            ).submit_wait(make_noop(proc.pasid, comp))
+            assert result.record.status is CompletionStatus.SUCCESS
+
+
+class TestTimeline:
+    def test_actions_run_in_time_order(self):
+        system = CloudSystem()
+        order = []
+        system.timeline.schedule_at(500, lambda: order.append("b"))
+        system.timeline.schedule_at(100, lambda: order.append("a"))
+        system.timeline.schedule_at(900, lambda: order.append("c"))
+        executed = system.timeline.run_until(600)
+        assert executed == 2
+        assert order == ["a", "b"]
+        assert system.timeline.pending == 1
+
+    def test_clock_advances_to_event_times(self):
+        system = CloudSystem()
+        seen = []
+        system.timeline.schedule_at(1000, lambda: seen.append(system.clock.now))
+        system.timeline.idle_until(2000)
+        assert seen == [1000]
+        assert system.clock.now == 2000
+
+    def test_late_events_run_at_current_time(self):
+        system = CloudSystem()
+        system.clock.advance(5000)
+        seen = []
+        system.timeline.schedule_at(100, lambda: seen.append(system.clock.now))
+        system.timeline.run_until(system.clock.now)
+        assert seen == [5000]
+
+    def test_same_time_events_fifo(self):
+        system = CloudSystem()
+        order = []
+        system.timeline.schedule_at(100, lambda: order.append(1))
+        system.timeline.schedule_at(100, lambda: order.append(2))
+        system.timeline.run_until(100)
+        assert order == [1, 2]
+
+    def test_idle_for_us(self):
+        system = CloudSystem()
+        system.timeline.idle_for_us(10)
+        assert system.clock.now == 20_000
+
+    def test_clear_and_next_event(self):
+        system = CloudSystem()
+        assert system.timeline.next_event_time() is None
+        system.timeline.schedule_at(42, lambda: None)
+        assert system.timeline.next_event_time() == 42
+        system.timeline.clear()
+        assert system.timeline.pending == 0
+
+
+class TestCrossVmLeakSurface:
+    def test_e1_cross_vm_devtlb_eviction(self):
+        """The headline E1 result: victim on a different VM and different
+        WQ (same engine) evicts the attacker's DevTLB entry."""
+        system = CloudSystem()
+        handles = system.setup_topology(AttackTopology.E1_SEPARATE_WQ_SHARED_ENGINE)
+        attacker, victim = handles.attacker, handles.victim
+        a_comp = attacker.comp_record()
+        v_comp = victim.comp_record()
+
+        a_portal = attacker.portal(handles.attacker_wq)
+        v_portal = victim.portal(handles.victim_wq)
+
+        a_portal.submit_wait(make_noop(attacker.pasid, a_comp))  # prime
+        hit = a_portal.submit_wait(make_noop(attacker.pasid, a_comp))
+        v_portal.submit_wait(make_noop(victim.pasid, v_comp))  # victim evicts
+        miss = a_portal.submit_wait(make_noop(attacker.pasid, a_comp))
+        assert miss.latency_cycles > hit.latency_cycles + 300
+
+    def test_e2_no_cross_engine_eviction(self):
+        system = CloudSystem()
+        handles = system.setup_topology(AttackTopology.E2_SEPARATE_WQ_SEPARATE_ENGINE)
+        attacker, victim = handles.attacker, handles.victim
+        a_comp = attacker.comp_record()
+        v_comp = victim.comp_record()
+        a_portal = attacker.portal(handles.attacker_wq)
+        v_portal = victim.portal(handles.victim_wq)
+
+        a_portal.submit_wait(make_noop(attacker.pasid, a_comp))  # prime
+        v_portal.submit_wait(make_noop(victim.pasid, v_comp))  # different engine
+        probe = a_portal.submit_wait(make_noop(attacker.pasid, a_comp))
+        assert probe.latency_cycles < 700  # still a hit

@@ -1,0 +1,76 @@
+"""Tests for background-tenant interference."""
+
+import numpy as np
+import pytest
+
+from repro.core.devtlb_attack import DsaDevTlbAttack
+from repro.virt.system import AttackTopology, CloudSystem
+from repro.workloads.background import BackgroundProfile, BackgroundTenant
+
+
+def build_with_background(seed=71, profile=None):
+    system = CloudSystem(seed=seed)
+    handles = system.setup_topology(AttackTopology.E1_SEPARATE_WQ_SHARED_ENGINE)
+    noise_vm = system.create_vm("other-tenant-vm")
+    noisy = noise_vm.spawn_process("tenant")
+    system.open_portal(noisy, handles.victim_wq)
+    tenant = BackgroundTenant(
+        noisy, handles.victim_wq, profile, rng=np.random.default_rng(seed)
+    )
+    return system, handles, tenant
+
+
+class TestBackgroundTenant:
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            BackgroundProfile(burst_rate_hz=0)
+        with pytest.raises(ValueError):
+            BackgroundProfile(burst_length=0)
+        with pytest.raises(ValueError):
+            BackgroundProfile(transfer_bytes=0)
+
+    def test_scheduling_produces_submissions(self):
+        system, handles, tenant = build_with_background()
+        bursts = tenant.schedule(system.timeline, system.clock.now, duration_us=100_000)
+        assert bursts > 0
+        system.timeline.idle_for_us(120_000)
+        assert tenant.submissions > 0
+
+    def test_burst_rate_scales_load(self):
+        """Burst counts over one horizon scale with the configured rate."""
+        system_a, _, tenant_a = build_with_background(
+            seed=5, profile=BackgroundProfile(burst_rate_hz=10.0)
+        )
+        system_b, _, tenant_b = build_with_background(
+            seed=5, profile=BackgroundProfile(burst_rate_hz=400.0)
+        )
+        bursts_a = tenant_a.schedule(system_a.timeline, system_a.clock.now, 200_000)
+        bursts_b = tenant_b.schedule(system_b.timeline, system_b.clock.now, 200_000)
+        assert bursts_b > 5 * bursts_a
+
+    def test_background_creates_devtlb_false_positives(self):
+        """The attacker sees co-tenant activity as evictions."""
+        system, handles, tenant = build_with_background(
+            profile=BackgroundProfile(burst_rate_hz=2000.0)
+        )
+        attack = DsaDevTlbAttack(handles.attacker, wq_id=handles.attacker_wq)
+        attack.calibrate(samples=30)
+        tenant.schedule(system.timeline, system.clock.now, duration_us=50_000)
+        attack.prime()
+        evictions = 0
+        for _ in range(40):
+            system.timeline.idle_for_us(1_000)
+            evictions += attack.probe().evicted
+        assert evictions > 5  # quiet system would read 0
+
+    def test_no_background_no_evictions(self):
+        system, handles, _ = build_with_background()
+        attack = DsaDevTlbAttack(handles.attacker, wq_id=handles.attacker_wq)
+        attack.calibrate(samples=30)
+        attack.prime()
+        evictions = sum(
+            attack.probe().evicted
+            for _ in range(30)
+            if not system.timeline.idle_for_us(1_000)
+        )
+        assert evictions == 0

@@ -1,0 +1,122 @@
+"""Tests for the checkpoint-migration and deduplication workloads."""
+
+import numpy as np
+import pytest
+
+from repro.hw.units import PAGE_SIZE
+from repro.virt.system import AttackTopology, CloudSystem
+from repro.workloads.migration import CheckpointMigrator, MemoryDeduplicator
+
+
+@pytest.fixture
+def system():
+    system = CloudSystem(seed=51)
+    system.setup_topology(AttackTopology.E0_SHARED_WQ_SHARED_ENGINE)
+    return system
+
+
+@pytest.fixture
+def victim(system):
+    return system.vms["victim-vm"].process("victim")
+
+
+class TestCheckpointMigrator:
+    def _region(self, victim, pages=4):
+        va = victim.buffer(pages * PAGE_SIZE)
+        rng = np.random.default_rng(0)
+        victim.write(va, rng.bytes(pages * PAGE_SIZE))
+        return va
+
+    def test_first_round_ships_everything(self, victim):
+        va = self._region(victim)
+        migrator = CheckpointMigrator(victim, va, pages=4)
+        assert migrator.checkpoint() == 4
+        assert migrator.stats.pages_shipped_full == 4
+        assert migrator.verify()
+
+    def test_clean_round_ships_nothing(self, victim):
+        va = self._region(victim)
+        migrator = CheckpointMigrator(victim, va, pages=4)
+        migrator.checkpoint()
+        assert migrator.checkpoint() == 0
+        assert migrator.verify()
+
+    def test_dirty_page_shipped_as_delta(self, victim):
+        va = self._region(victim)
+        migrator = CheckpointMigrator(victim, va, pages=4)
+        migrator.checkpoint()
+        victim.write(va + 2 * PAGE_SIZE + 100, b"DIRTYDIRTY")
+        shipped = migrator.checkpoint()
+        assert shipped == 1
+        assert migrator.stats.pages_shipped_delta == 1
+        assert migrator.stats.delta_bytes < PAGE_SIZE
+        assert migrator.verify()
+
+    def test_fully_rewritten_page_falls_back_to_full_copy(self, victim):
+        va = self._region(victim)
+        migrator = CheckpointMigrator(victim, va, pages=2)
+        migrator.checkpoint()
+        victim.write(va, np.random.default_rng(9).bytes(PAGE_SIZE))
+        migrator.checkpoint()
+        # A page rewritten wholesale produces a delta >= page size, so the
+        # migrator ships it as a plain copy.
+        assert migrator.stats.pages_shipped_full == 3  # 2 initial + 1 fallback
+        assert migrator.verify()
+
+    def test_bytes_saved_accounting(self, victim):
+        va = self._region(victim)
+        migrator = CheckpointMigrator(victim, va, pages=4)
+        migrator.checkpoint()
+        victim.write(va + 8, b"x" * 8)
+        migrator.checkpoint()
+        assert migrator.stats.bytes_saved > PAGE_SIZE // 2
+
+    def test_zero_pages_rejected(self, victim):
+        with pytest.raises(ValueError):
+            CheckpointMigrator(victim, victim.buffer(), pages=0)
+
+
+class TestMemoryDeduplicator:
+    def test_identical_pages_merged(self, victim):
+        pages = [victim.buffer(PAGE_SIZE) for _ in range(4)]
+        for va in pages[:3]:
+            victim.write(va, b"same content " * 100)
+        victim.write(pages[3], b"different" * 100)
+        dedup = MemoryDeduplicator(victim)
+        merges = dedup.deduplicate(pages)
+        assert merges == 2  # pages 1 and 2 merge into page 0
+        assert dedup.stats.bytes_reclaimed == 2 * PAGE_SIZE
+
+    def test_no_false_merges(self, victim):
+        rng = np.random.default_rng(3)
+        pages = [victim.buffer(PAGE_SIZE) for _ in range(5)]
+        for va in pages:
+            victim.write(va, rng.bytes(PAGE_SIZE))
+        dedup = MemoryDeduplicator(victim)
+        assert dedup.deduplicate(pages) == 0
+
+    def test_crc_prefilter_limits_comparisons(self, victim):
+        """Distinct pages (distinct CRCs) require zero byte compares."""
+        rng = np.random.default_rng(5)
+        pages = [victim.buffer(PAGE_SIZE) for _ in range(6)]
+        for va in pages:
+            victim.write(va, rng.bytes(PAGE_SIZE))
+        dedup = MemoryDeduplicator(victim)
+        dedup.deduplicate(pages)
+        assert dedup.stats.comparisons == 0
+
+    def test_migration_visible_to_devtlb_attacker(self, system, victim):
+        """Checkpointing is a DSA workload: an attacker sees it."""
+        from repro.core.devtlb_attack import DsaDevTlbAttack
+
+        attacker = system.vms["attacker-vm"].process("attacker")
+        attack = DsaDevTlbAttack(attacker, wq_id=0)
+        attack.calibrate(samples=30)
+        attack.prime()
+        quiet = attack.probe().evicted
+
+        va = victim.buffer(2 * PAGE_SIZE)
+        migrator = CheckpointMigrator(victim, va, pages=2)
+        migrator.checkpoint()
+        busy = attack.probe().evicted
+        assert not quiet and busy

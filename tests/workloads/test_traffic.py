@@ -1,0 +1,195 @@
+"""Tests for VPP/memif, website signatures, SSH sessions, and LLM models."""
+
+import numpy as np
+import pytest
+
+from repro.virt.system import AttackTopology, CloudSystem
+from repro.workloads.dto import DtoRuntime
+from repro.workloads.llm import (
+    LLM_ZOO,
+    LlmBackend,
+    LlmInferenceWorkload,
+    model_by_name,
+)
+from repro.workloads.ssh import SshKeystrokeSession
+from repro.workloads.vpp import MEMIF_SLOT_BYTES, PacketEvent, VppVictim
+from repro.workloads.websites import TOP_100_SITES, WebsiteProfile, top_sites
+
+
+@pytest.fixture
+def system():
+    system = CloudSystem(seed=77)
+    system.setup_topology(AttackTopology.E1_SEPARATE_WQ_SHARED_ENGINE)
+    return system
+
+
+@pytest.fixture
+def victim(system):
+    return system.vms["victim-vm"].process("victim")
+
+
+class TestMemif:
+    def test_packet_becomes_dsa_copy(self, system, victim):
+        vpp = VppVictim(victim, wq_id=1)
+        before = system.device.stats.submissions_accepted
+        vpp.interface.transfer_packet(1000)
+        assert system.device.stats.submissions_accepted == before + 1
+        assert vpp.interface.packets_transferred == 1
+        assert vpp.interface.bytes_transferred == MEMIF_SLOT_BYTES
+
+    def test_large_packet_rounds_to_slots(self, system, victim):
+        vpp = VppVictim(victim, wq_id=1)
+        vpp.interface.transfer_packet(MEMIF_SLOT_BYTES + 1)
+        assert vpp.interface.bytes_transferred == 2 * MEMIF_SLOT_BYTES
+
+    def test_schedule_trace(self, system, victim):
+        vpp = VppVictim(victim, wq_id=1)
+        packets = [PacketEvent(time_us=10.0 * i, size_bytes=1500) for i in range(5)]
+        count = vpp.schedule_trace(system.timeline, packets, system.clock.now)
+        assert count == 5
+        system.timeline.idle_for_us(100)
+        assert vpp.interface.packets_transferred == 5
+
+    def test_invalid_packet_rejected(self):
+        with pytest.raises(ValueError):
+            PacketEvent(time_us=0, size_bytes=0)
+        with pytest.raises(ValueError):
+            PacketEvent(time_us=-1, size_bytes=100)
+
+
+class TestWebsiteProfiles:
+    def test_top_sites_count(self):
+        assert len(top_sites(100)) == 100
+        assert len(TOP_100_SITES) == 100
+        assert len(set(TOP_100_SITES)) == 100
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            top_sites(0)
+        with pytest.raises(ValueError):
+            top_sites(101)
+
+    def test_profiles_are_deterministic(self):
+        a = WebsiteProfile.from_name("example.com")
+        b = WebsiteProfile.from_name("example.com")
+        assert a == b
+
+    def test_different_sites_differ(self):
+        a = WebsiteProfile.from_name("google.com")
+        b = WebsiteProfile.from_name("youtube.com")
+        assert a.waves != b.waves
+
+    def test_visits_vary_but_share_shape(self):
+        profile = WebsiteProfile.from_name("github.com")
+        rng = np.random.default_rng(0)
+        v1 = profile.generate_visit(rng)
+        v2 = profile.generate_visit(rng)
+        assert v1 != v2
+        # Same order of magnitude of traffic across visits.
+        assert 0.5 < len(v1) / len(v2) < 2.0
+
+    def test_visit_events_sorted_and_bounded(self):
+        profile = WebsiteProfile.from_name("reddit.com")
+        visit = profile.generate_visit(np.random.default_rng(3))
+        times = [e.time_us for e in visit]
+        assert times == sorted(times)
+        assert all(0 <= t < profile.total_duration_us for t in times)
+
+    def test_distinct_sites_have_distinct_slot_histograms(self):
+        """The attack's feature: per-slot packet counts differ by site."""
+        rng = np.random.default_rng(5)
+        slots = 50
+        histograms = []
+        for name in ("google.com", "netflix.com", "arxiv.org"):
+            profile = WebsiteProfile.from_name(name)
+            visit = profile.generate_visit(rng)
+            hist = np.zeros(slots)
+            for event in visit:
+                hist[min(int(event.time_us / 20_000), slots - 1)] += 1
+            histograms.append(hist / max(hist.sum(), 1))
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert np.abs(histograms[i] - histograms[j]).sum() > 0.2
+
+
+class TestSshSession:
+    def test_ground_truth_monotonic(self, system, victim):
+        system.open_portal(victim, 1) if 1 not in victim.portals else None
+        dto = DtoRuntime(victim, wq_id=1)
+        session = SshKeystrokeSession(dto, np.random.default_rng(1))
+        events = session.keystroke_times("ssh root")
+        assert len(events) == 8
+        times = [e.time_us for e in events]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_typing_produces_dsa_activity(self, system, victim):
+        dto = DtoRuntime(victim, wq_id=1)
+        session = SshKeystrokeSession(dto, np.random.default_rng(2))
+        events = session.schedule_typing(system.timeline, "ls", system.clock.now)
+        system.timeline.idle_for_us(events[-1].time_us + 10_000)
+        # Two buffers per keystroke, both above DTO_MIN_BYTES.
+        assert dto.stats.offloaded_calls == 2 * len(events)
+
+    def test_interkey_delays_plausible(self, system, victim):
+        dto = DtoRuntime(victim, wq_id=1)
+        session = SshKeystrokeSession(dto, np.random.default_rng(3))
+        events = session.keystroke_times("x" * 200)
+        deltas = np.diff([e.time_us for e in events]) / 1000.0  # ms
+        assert 80 < np.median(deltas) < 350
+
+
+class TestLlmZoo:
+    def test_table2_models_present(self):
+        names = {m.name for m in LLM_ZOO}
+        assert len(LLM_ZOO) == 8
+        assert "tinystories-15m" in names
+        assert "llama2-7b" in names
+        assert "qwen3-4b-moe" in names
+
+    def test_lookup(self):
+        assert model_by_name("gemma3-1b").backend is LlmBackend.GPU
+        with pytest.raises(KeyError):
+            model_by_name("gpt-5")
+
+    def test_bigger_models_are_slower(self):
+        by_size = sorted(LLM_ZOO, key=lambda m: m.parameters_m)
+        rates = [m.tokens_per_second for m in by_size]
+        # Not strictly monotone (backends differ) but the extremes hold.
+        assert rates[0] > rates[-1]
+
+    def test_inference_schedules_activity(self, system, victim):
+        dto = DtoRuntime(victim, wq_id=1)
+        workload = LlmInferenceWorkload(
+            dto, model_by_name("tinystories-15m"), np.random.default_rng(4)
+        )
+        tokens = workload.schedule_inference(
+            system.timeline, system.clock.now, duration_us=100_000
+        )
+        assert tokens > 5
+        system.timeline.idle_for_us(120_000)
+        assert dto.stats.offloaded_calls > 0
+
+    def test_gpu_backend_frontloads_weights(self, system, victim):
+        dto = DtoRuntime(victim, wq_id=1)
+        workload = LlmInferenceWorkload(
+            dto, model_by_name("gemma3-1b"), np.random.default_rng(4)
+        )
+        workload.schedule_inference(system.timeline, system.clock.now, duration_us=50_000)
+        system.timeline.idle_for_us(10_000)  # only the load burst window
+        load_calls = dto.stats.offloaded_calls
+        assert load_calls >= 10  # weight shards land up front
+
+    def test_distinct_models_distinct_rates(self, system, victim):
+        dto = DtoRuntime(victim, wq_id=1)
+        rng = np.random.default_rng(9)
+        counts = {}
+        for name in ("tinystories-15m", "llama2-7b"):
+            before = dto.stats.offloaded_calls
+            workload = LlmInferenceWorkload(dto, model_by_name(name), rng)
+            workload.schedule_inference(
+                system.timeline, system.clock.now, duration_us=200_000
+            )
+            system.timeline.idle_for_us(250_000)
+            counts[name] = dto.stats.offloaded_calls - before
+        assert counts["tinystories-15m"] != counts["llama2-7b"]
