@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Run the full chaos suite, including the long fault-storm scenarios that
+# the default pytest configuration excludes via `-m "not chaos"`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+exec python -m pytest tests/chaos -o addopts="" -q "$@"

@@ -13,13 +13,20 @@ The paper's two primitives plus the measurement plumbing they share:
   used by every trace-collection attack (Sections VI-B/C/D).
 """
 
-from repro.core.calibration import CalibrationResult, calibrate_threshold
+from repro.core.calibration import (
+    CalibrationPolicy,
+    CalibrationResult,
+    ThresholdMonitor,
+    calibrate_threshold,
+    calibrate_with_recovery,
+)
 from repro.core.devtlb_attack import DevTlbProbeOutcome, DsaDevTlbAttack
 from repro.core.primitives import Prober
 from repro.core.sampling import DevTlbSampler, SamplerConfig, SwqSampler
 from repro.core.swq_attack import DsaSwqAttack, SwqRoundResult
 
 __all__ = [
+    "CalibrationPolicy",
     "CalibrationResult",
     "DevTlbProbeOutcome",
     "DevTlbSampler",
@@ -29,5 +36,7 @@ __all__ = [
     "SamplerConfig",
     "SwqRoundResult",
     "SwqSampler",
+    "ThresholdMonitor",
     "calibrate_threshold",
+    "calibrate_with_recovery",
 ]

@@ -6,15 +6,73 @@ attacker without Perfmon access derives that threshold online: probe the
 same completion-record page twice (the second probe is a guaranteed hit),
 then evict it with a probe to a different page and re-probe (a guaranteed
 miss), repeating for statistics.
+
+On a noisy or fault-prone host a single calibration pass can come back
+useless — injected completion errors inflate the hit tail, preemption
+bursts thin the samples.  :func:`calibrate_with_recovery` wraps the basic
+pass in a health-checked retry loop (:class:`CalibrationPolicy`), and
+:class:`ThresholdMonitor` watches live probe latencies for threshold
+drift so an attack can trigger recalibration mid-run.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.primitives import Prober
+from repro.errors import (
+    CalibrationError,
+    CompletionTimeoutError,
+    QueueFullError,
+    TranslationFault,
+)
+
+#: Errors a calibration pass may hit on a fault-injected host; each one
+#: voids the pass rather than the whole calibration.
+_TRANSIENT_ERRORS = (QueueFullError, CompletionTimeoutError, TranslationFault)
+
+
+@dataclass(frozen=True)
+class CalibrationPolicy:
+    """Health requirements and retry budget for threshold calibration.
+
+    Attributes
+    ----------
+    min_separation_cycles:
+        Minimum gap between hit and miss means for the threshold to be
+        trusted (the paper's band is ~300 cycles wide; half of that is a
+        conservative floor).
+    max_overlap_error:
+        Maximum tolerated fraction of calibration samples the derived
+        threshold misclassifies.
+    max_attempts:
+        Total calibration passes before giving up.
+    sample_growth:
+        Multiplier applied to the sample count on each retry.
+    trim_fraction:
+        Fraction of the slowest hits and fastest misses discarded on
+        retry passes — sheds fault-inflated outliers without assuming a
+        distribution shape.
+    """
+
+    min_separation_cycles: float = 150.0
+    max_overlap_error: float = 0.12
+    max_attempts: int = 4
+    sample_growth: float = 1.5
+    trim_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.sample_growth < 1.0:
+            raise ValueError(f"sample_growth must be >= 1, got {self.sample_growth}")
+        if not 0.0 <= self.trim_fraction < 0.5:
+            raise ValueError(
+                f"trim_fraction must be in [0, 0.5), got {self.trim_fraction}"
+            )
 
 
 @dataclass(frozen=True)
@@ -48,20 +106,44 @@ class CalibrationResult:
         total = len(self.hit_latencies) + len(self.miss_latencies)
         return wrong / total if total else 0.0
 
+    def healthy(self, policy: CalibrationPolicy | None = None) -> bool:
+        """Whether this calibration satisfies *policy* (default policy if
+        ``None``)."""
+        policy = policy or CalibrationPolicy()
+        return (
+            self.separation >= policy.min_separation_cycles
+            and self.overlap_error <= policy.max_overlap_error
+        )
+
     def classify(self, latency: int) -> bool:
         """``True`` when *latency* indicates a miss (eviction)."""
         return latency >= self.threshold
 
 
-def calibrate_threshold(prober: Prober, samples: int = 100) -> CalibrationResult:
+def _trim(values: np.ndarray, fraction: float, high: bool) -> np.ndarray:
+    """Drop the highest (*high*) or lowest fraction of *values*."""
+    drop = int(len(values) * fraction)
+    if drop == 0:
+        return values
+    ordered = np.sort(values)
+    return ordered[:-drop] if high else ordered[drop:]
+
+
+def calibrate_threshold(
+    prober: Prober, samples: int = 100, trim_fraction: float = 0.0
+) -> CalibrationResult:
     """Measure hit/miss latency distributions and pick a threshold.
 
     The threshold is the midpoint between the 95th hit percentile and the
     5th miss percentile — robust to the occasional noise spike without
-    assuming either distribution's shape.
+    assuming either distribution's shape.  With *trim_fraction* > 0 the
+    slowest hits and fastest misses are discarded first, which sheds
+    outliers left behind by injected faults or preemption bursts.
     """
     if samples < 2:
         raise ValueError(f"calibration needs at least 2 samples, got {samples}")
+    if not 0.0 <= trim_fraction < 0.5:
+        raise ValueError(f"trim_fraction must be in [0, 0.5), got {trim_fraction}")
     target = prober.fresh_comp()
     evictor = prober.fresh_comp()
 
@@ -73,9 +155,114 @@ def calibrate_threshold(prober: Prober, samples: int = 100) -> CalibrationResult
         prober.probe_noop(evictor)  # evict the comp sub-entry
         misses[i] = prober.probe_noop(target).latency_cycles  # miss + refill
 
+    hits = _trim(hits, trim_fraction, high=True)
+    misses = _trim(misses, trim_fraction, high=False)
     high_hit = float(np.percentile(hits, 95))
     low_miss = float(np.percentile(misses, 5))
     threshold = int(round((high_hit + low_miss) / 2))
     return CalibrationResult(
         hit_latencies=hits, miss_latencies=misses, threshold=threshold
     )
+
+
+def calibrate_with_recovery(
+    prober: Prober,
+    samples: int = 100,
+    policy: CalibrationPolicy | None = None,
+) -> CalibrationResult:
+    """Calibrate until the result passes *policy*'s health checks.
+
+    Each failed pass retries with ``sample_growth``-times more samples
+    and outlier trimming enabled; transient probe errors (queue-full,
+    completion timeout, unresolved page fault) void the pass rather than
+    the calibration.  Raises :class:`~repro.errors.CalibrationError`
+    carrying the best unhealthy result when the retry budget runs out.
+    """
+    policy = policy or CalibrationPolicy()
+    best: CalibrationResult | None = None
+    last_error: Exception | None = None
+    current = samples
+    for attempt in range(policy.max_attempts):
+        trim = policy.trim_fraction if attempt else 0.0
+        try:
+            result = calibrate_threshold(prober, samples=current, trim_fraction=trim)
+        except _TRANSIENT_ERRORS as exc:
+            last_error = exc
+        else:
+            if result.healthy(policy):
+                return result
+            if best is None or result.overlap_error < best.overlap_error:
+                best = result
+        current = max(current + 1, int(round(current * policy.sample_growth)))
+    detail = f"; last transient error: {last_error}" if last_error else ""
+    raise CalibrationError(
+        f"calibration unhealthy after {policy.max_attempts} attempts "
+        f"(need separation >= {policy.min_separation_cycles:.0f} cycles and "
+        f"overlap <= {policy.max_overlap_error:.0%}){detail}",
+        best=best,
+    )
+
+
+class ThresholdMonitor:
+    """Watches live probe latencies for threshold drift.
+
+    A healthy threshold sits in the dead zone between the hit and miss
+    clusters, so almost no latency lands *near* it.  When environmental
+    drift (or an injected fault storm) moves a cluster toward the
+    threshold, the fraction of ambiguous samples — those within
+    ``band_cycles`` of the threshold — rises.  :attr:`drifting` flips
+    once that fraction exceeds ``ambiguous_limit`` over the sliding
+    window, signalling the attack to recalibrate.
+    """
+
+    def __init__(
+        self,
+        threshold: int,
+        band_cycles: int = 120,
+        window: int = 256,
+        ambiguous_limit: float = 0.25,
+        min_samples: int = 64,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not 0.0 < ambiguous_limit <= 1.0:
+            raise ValueError(
+                f"ambiguous_limit must be in (0, 1], got {ambiguous_limit}"
+            )
+        self.threshold = threshold
+        self.band_cycles = band_cycles
+        self.ambiguous_limit = ambiguous_limit
+        self.min_samples = min(min_samples, window)
+        self._window: deque[bool] = deque(maxlen=window)
+        self.observed = 0
+        self.ambiguous = 0
+
+    def observe(self, latency: int) -> bool:
+        """Record one probe latency; return whether it was ambiguous."""
+        ambiguous = abs(latency - self.threshold) <= self.band_cycles
+        self._window.append(ambiguous)
+        self.observed += 1
+        if ambiguous:
+            self.ambiguous += 1
+        return ambiguous
+
+    @property
+    def ambiguous_fraction(self) -> float:
+        """Ambiguous fraction over the current window."""
+        if not self._window:
+            return 0.0
+        return sum(self._window) / len(self._window)
+
+    @property
+    def drifting(self) -> bool:
+        """Whether the window shows enough ambiguity to recalibrate."""
+        return (
+            len(self._window) >= self.min_samples
+            and self.ambiguous_fraction > self.ambiguous_limit
+        )
+
+    def reset(self, threshold: int | None = None) -> None:
+        """Clear the window (after recalibrating to *threshold*)."""
+        if threshold is not None:
+            self.threshold = threshold
+        self._window.clear()

@@ -11,13 +11,23 @@ touch src/dst sub-entries).
 A convenient property of single-slot sub-entries is that the probe
 doubles as the next prime: a missing entry is refilled by the probe
 itself, so steady-state sampling is just a probe loop.
+
+Calibration runs through :func:`~repro.core.calibration.calibrate_with_recovery`
+(health-checked, bounded retry), and an optional
+:class:`~repro.core.calibration.ThresholdMonitor` watches live probe
+latencies so long runs can detect threshold drift and recalibrate.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.calibration import CalibrationResult, calibrate_threshold
+from repro.core.calibration import (
+    CalibrationPolicy,
+    CalibrationResult,
+    ThresholdMonitor,
+    calibrate_with_recovery,
+)
 from repro.core.primitives import Prober
 from repro.virt.process import GuestProcess
 
@@ -36,30 +46,65 @@ class DevTlbProbeOutcome:
 
 
 class DsaDevTlbAttack:
-    """Prime+Probe on the DevTLB's completion-record sub-entry."""
+    """Prime+Probe on the DevTLB's completion-record sub-entry.
+
+    *probe_timeout_cycles* bounds each probe's completion poll (see
+    :class:`~repro.core.primitives.Prober`); leave it ``None`` unless the
+    run expects lost submissions.
+    """
 
     def __init__(
         self,
         process: GuestProcess,
         wq_id: int = 0,
         threshold: int | None = None,
+        probe_timeout_cycles: int | None = None,
     ) -> None:
         self.process = process
-        self.prober = Prober(process, wq_id=wq_id)
+        self.prober = Prober(
+            process, wq_id=wq_id, wait_timeout_cycles=probe_timeout_cycles
+        )
         self.comp_va = process.comp_record()
         self.threshold = threshold if threshold is not None else DEFAULT_THRESHOLD_CYCLES
         self.calibration: CalibrationResult | None = None
+        self.monitor: ThresholdMonitor | None = None
+        self.recalibrations = 0
         self.probes = 0
         self.evictions_seen = 0
 
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
-    def calibrate(self, samples: int = 100) -> CalibrationResult:
-        """Derive the hit/miss threshold online (no privileges needed)."""
-        self.calibration = calibrate_threshold(self.prober, samples=samples)
+    def calibrate(
+        self, samples: int = 100, policy: CalibrationPolicy | None = None
+    ) -> CalibrationResult:
+        """Derive the hit/miss threshold online (no privileges needed).
+
+        Retries unhealthy passes per *policy*; raises
+        :class:`~repro.errors.CalibrationError` when the budget runs out.
+        """
+        self.calibration = calibrate_with_recovery(
+            self.prober, samples=samples, policy=policy
+        )
         self.threshold = self.calibration.threshold
+        if self.monitor is not None:
+            self.monitor.reset(self.threshold)
         return self.calibration
+
+    def enable_drift_monitor(self, **kwargs) -> ThresholdMonitor:
+        """Attach a :class:`ThresholdMonitor` fed by every probe."""
+        self.monitor = ThresholdMonitor(self.threshold, **kwargs)
+        return self.monitor
+
+    @property
+    def drift_detected(self) -> bool:
+        """Whether the monitor (if enabled) currently signals drift."""
+        return self.monitor is not None and self.monitor.drifting
+
+    def recalibrate(self, samples: int = 100) -> CalibrationResult:
+        """Re-derive the threshold after drift and reset the monitor."""
+        self.recalibrations += 1
+        return self.calibrate(samples=samples)
 
     # ------------------------------------------------------------------
     # The three steps
@@ -79,6 +124,8 @@ class DsaDevTlbAttack:
         self.probes += 1
         if evicted:
             self.evictions_seen += 1
+        if self.monitor is not None:
+            self.monitor.observe(result.latency_cycles)
         return DevTlbProbeOutcome(
             latency_cycles=result.latency_cycles,
             evicted=evicted,

@@ -13,17 +13,25 @@ representative descriptors the paper uses for reverse engineering:
 Each probe submits through the process's portal and polls the completion
 record, returning the ``rdtsc``-measured latency — the unprivileged signal
 every attack thresholds.
+
+Probes survive transient failures: a full queue backs off and resubmits,
+a lost submission (observable only with ``wait_timeout_cycles`` set) or a
+descriptor completing with a fault status is retried up to
+``max_retries`` times before the failure is surfaced to the caller.
 """
 
 from __future__ import annotations
 
+from repro.dsa.completion import CompletionStatus
 from repro.dsa.descriptor import (
+    Descriptor,
     make_dualcast,
     make_memcmp,
     make_memcpy,
     make_noop,
 )
 from repro.dsa.portal import ProbeResult
+from repro.errors import CompletionTimeoutError, QueueFullError
 from repro.virt.process import GuestProcess
 
 
@@ -39,13 +47,38 @@ class Prober:
     size:
         Transfer size for the data probes (small keeps probes fast; the
         DevTLB only cares about the page).
+    max_retries:
+        Resubmissions allowed per probe after a transient failure.
+    retry_backoff_cycles:
+        Initial wait after a queue-full rejection; doubles per retry.
+    wait_timeout_cycles:
+        Bound on the completion poll.  ``None`` (the default) polls
+        forever — correct on a congested-but-honest device, where a
+        probe can legitimately sit behind a victim's bulk transfer.
+        Chaos runs set a finite bound so dropped submissions surface as
+        :class:`~repro.errors.CompletionTimeoutError` and get retried.
     """
 
-    def __init__(self, process: GuestProcess, wq_id: int = 0, size: int = 64) -> None:
+    def __init__(
+        self,
+        process: GuestProcess,
+        wq_id: int = 0,
+        size: int = 64,
+        max_retries: int = 3,
+        retry_backoff_cycles: int = 2_000,
+        wait_timeout_cycles: int | None = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.process = process
         self.portal = process.portal(wq_id)
         self.size = size
+        self.max_retries = max_retries
+        self.retry_backoff_cycles = retry_backoff_cycles
+        self.wait_timeout_cycles = wait_timeout_cycles
         self.probes_issued = 0
+        self.retries_used = 0
+        self.probe_failures = 0
         self._noop_cache: dict[int, object] = {}
 
     # ------------------------------------------------------------------
@@ -60,6 +93,56 @@ class Prober:
         return self.process.comp_record()
 
     # ------------------------------------------------------------------
+    # Resilient submission
+    # ------------------------------------------------------------------
+    def _submit_probe(self, descriptor: Descriptor) -> ProbeResult:
+        """Submit with bounded retry on transient failures.
+
+        Queue-full rejections back off (doubling) before resubmitting;
+        completion timeouts resubmit immediately (the original write was
+        lost in flight); a completion record carrying a fault status is
+        retried while budget remains, then returned as-is so the caller
+        sees the failure.  Exhausting the budget on exceptions re-raises
+        the last one.
+        """
+        backoff = self.retry_backoff_cycles
+        last_error: Exception | None = None
+        result: ProbeResult | None = None
+        attempts = self.max_retries + 1
+        for attempt in range(attempts):
+            if attempt:
+                self.retries_used += 1
+            try:
+                result = self.portal.submit_wait(
+                    descriptor, timeout_cycles=self.wait_timeout_cycles
+                )
+            except QueueFullError as exc:
+                last_error = exc
+                self.probe_failures += 1
+                self.portal.clock.advance(backoff)
+                self.portal.device.advance_to(self.portal.clock.now)
+                backoff *= 2
+                continue
+            except CompletionTimeoutError as exc:
+                last_error = exc
+                self.probe_failures += 1
+                continue
+            record = result.record
+            if (
+                record is not None
+                and record.status
+                in (CompletionStatus.PAGE_FAULT, CompletionStatus.INVALID_FLAGS)
+                and attempt < attempts - 1
+            ):
+                self.probe_failures += 1
+                continue
+            return result
+        if result is not None:
+            return result
+        assert last_error is not None
+        raise last_error
+
+    # ------------------------------------------------------------------
     # Probes (latency in cycles, as measured by rdtsc around the poll)
     # ------------------------------------------------------------------
     def probe_noop(self, comp: int) -> ProbeResult:
@@ -69,25 +152,25 @@ class Prober:
         if descriptor is None:
             descriptor = make_noop(self.process.pasid, comp)
             self._noop_cache[comp] = descriptor
-        return self.portal.submit_wait(descriptor)
+        return self._submit_probe(descriptor)
 
     def probe_memcmp(self, src: int, src2: int, comp: int) -> ProbeResult:
         """Touch ``src`` and ``src2`` (Listing 1)."""
         self.probes_issued += 1
-        return self.portal.submit_wait(
+        return self._submit_probe(
             make_memcmp(self.process.pasid, src, src2, self.size, comp)
         )
 
     def probe_memcpy(self, src: int, dst: int, comp: int) -> ProbeResult:
         """Touch ``src`` (read) and ``dst`` (write)."""
         self.probes_issued += 1
-        return self.portal.submit_wait(
+        return self._submit_probe(
             make_memcpy(self.process.pasid, src, dst, self.size, comp)
         )
 
     def probe_dualcast(self, src: int, dst: int, dst2: int, comp: int) -> ProbeResult:
         """Touch ``src``, ``dst``, and ``dst2``."""
         self.probes_issued += 1
-        return self.portal.submit_wait(
+        return self._submit_probe(
             make_dualcast(self.process.pasid, src, dst, dst2, self.size, comp)
         )

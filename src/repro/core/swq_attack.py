@@ -71,6 +71,7 @@ class DsaSwqAttack:
         self._saturated_early = False
         self.rounds = 0
         self.detections = 0
+        self.anchor_resubmits = 0
 
     # ------------------------------------------------------------------
     # The three steps
@@ -96,10 +97,17 @@ class DsaSwqAttack:
             anchor_bytes,
             self._anchor_comp,
         )
-        if self.portal.enqcmd(anchor):
-            raise ConfigurationError(
-                "SWQ not drained before congest(); call wait_drain() between rounds"
-            )
+        for _ in range(3):
+            if self.portal.enqcmd(anchor):
+                raise ConfigurationError(
+                    "SWQ not drained before congest(); call wait_drain() between rounds"
+                )
+            if self.portal.last_ticket is not None:
+                break
+            # Accepted but no ticket: the portal write was dropped in
+            # flight.  An un-anchored round would never saturate, so
+            # resubmit — the queue is drained, slots are free.
+            self.anchor_resubmits += 1
         self._anchor_ticket = self.portal.last_ticket
         filler = Descriptor(
             opcode=Opcode.NOOP, pasid=self.process.pasid, flags=DescriptorFlags.NONE

@@ -7,9 +7,11 @@ bit window encodes 1 as "submit a descriptor" (DevTLB eviction / SWQ slot
 consumption) and 0 as silence.
 """
 
+from repro.covert.adaptive import choose_redundancy, find_best_rate
 from repro.covert.channel import (
     CovertChannelResult,
     run_devtlb_covert_channel,
+    run_devtlb_framed_message,
     run_swq_covert_channel,
 )
 from repro.covert.framing import (
@@ -33,13 +35,16 @@ __all__ = [
     "CovertSender",
     "DecodeReport",
     "Frame",
+    "choose_redundancy",
     "decode_frames",
+    "find_best_rate",
     "frame_message",
     "goodput_bps",
     "binary_entropy",
     "bit_error_rate",
     "random_bits",
     "run_devtlb_covert_channel",
+    "run_devtlb_framed_message",
     "run_swq_covert_channel",
     "true_capacity",
 ]

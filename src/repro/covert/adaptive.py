@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.covert.channel import CovertChannelResult
+from repro.covert.framing import FRAME_BITS
 
 
 @dataclass(frozen=True)
@@ -79,3 +80,34 @@ def find_best_rate(
                 break
     assert best is not None
     return AdaptiveResult(best=best, probes=tuple(history))
+
+
+def choose_redundancy(
+    error_rate: float,
+    target_frame_rate: float = 0.9,
+    max_redundancy: int = 8,
+) -> int:
+    """Pick the frame repetition count for a measured bit *error_rate*.
+
+    With no backchannel the sender must over-provision up front: assuming
+    independent bit errors, a single frame survives with probability
+    ``(1 - e) ** FRAME_BITS``, and one of ``r`` repeated copies survives
+    with ``1 - (1 - p_ok) ** r``.  Returns the smallest ``r`` meeting
+    *target_frame_rate*, capped at *max_redundancy* (the majority-vote
+    fallback picks up some of the shortfall beyond the cap).
+    """
+    if not 0.0 <= error_rate <= 1.0:
+        raise ValueError(f"error_rate must be in [0, 1], got {error_rate}")
+    if not 0.0 < target_frame_rate < 1.0:
+        raise ValueError(
+            f"target_frame_rate must be in (0, 1), got {target_frame_rate}"
+        )
+    if max_redundancy < 1:
+        raise ValueError(f"max_redundancy must be >= 1, got {max_redundancy}")
+    p_ok = (1.0 - error_rate) ** FRAME_BITS
+    if p_ok <= 0.0:
+        return max_redundancy
+    for redundancy in range(1, max_redundancy + 1):
+        if 1.0 - (1.0 - p_ok) ** redundancy >= target_frame_rate:
+            return redundancy
+    return max_redundancy

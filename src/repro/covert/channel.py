@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.devtlb_attack import DsaDevTlbAttack
 from repro.core.swq_attack import DsaSwqAttack
+from repro.covert.framing import DecodeReport, decode_frames, frame_message
 from repro.covert.metrics import bit_error_rate, random_bits, true_capacity
 from repro.covert.protocol import CovertConfig, CovertSender
 from repro.errors import ConfigurationError
@@ -46,13 +47,22 @@ class DevTlbCovertReceiver:
         self.attack = attack
         self.config = config
 
-    def synchronize(self, timeline: Timeline, max_windows: int = 400) -> int:
+    def synchronize(
+        self, timeline: Timeline, max_windows: int = 400, min_hits: int | None = None
+    ) -> int:
         """Scan for the preamble; return the estimated message start time.
 
         Probes at a quarter-window period, then refines the phase estimate
         by averaging over every preamble hit (reducing the single-bit
         jitter error by roughly the square root of the preamble length).
+        *min_hits* overrides how many preamble hits are demanded before a
+        lock is accepted (default: all but two of the preamble bits) —
+        lower it when submission loss is expected to thin the preamble.
         """
+        if min_hits is None:
+            min_hits = max(self.config.preamble_ones - 2, 2)
+        elif min_hits < 2:
+            raise ConfigurationError(f"min_hits must be >= 2, got {min_hits}")
         window = us_to_cycles(self.config.bit_window_us)
         scan = max(window // 6, 1)
         clock = timeline.clock
@@ -83,7 +93,7 @@ class DevTlbCovertReceiver:
 
             # A lone noise spike is not a preamble: demand hits in most
             # of the expected windows before accepting the lock.
-            if len(centers) >= max(self.config.preamble_ones - 2, 2):
+            if len(centers) >= min_hits:
                 return self._align_to_preamble(
                     np.asarray(centers, dtype=np.float64), window
                 )
@@ -282,31 +292,81 @@ def _result(
     )
 
 
+def _devtlb_channel_parts(
+    config: CovertConfig,
+    seed: int,
+    system: CloudSystem | None,
+    probe_timeout_cycles: int | None,
+) -> tuple[CloudSystem, CovertSender, DevTlbCovertReceiver]:
+    """Build the system/sender/receiver triple for the DevTLB channel."""
+    if system is None:
+        system = CloudSystem(seed=seed)
+    handles = system.setup_topology(AttackTopology.E1_SEPARATE_WQ_SHARED_ENGINE)
+    attack = DsaDevTlbAttack(
+        handles.attacker,
+        wq_id=handles.attacker_wq,
+        probe_timeout_cycles=probe_timeout_cycles,
+    )
+    attack.calibrate(samples=60)
+    sender = CovertSender(
+        handles.victim, handles.victim_wq, config, system.rng, evict_devtlb=True
+    )
+    receiver = DevTlbCovertReceiver(attack, config)
+    return system, sender, receiver
+
+
 def run_devtlb_covert_channel(
     payload_bits: int = 512,
     config: CovertConfig | None = None,
     seed: int = 2026,
     system: CloudSystem | None = None,
+    probe_timeout_cycles: int | None = None,
 ) -> CovertChannelResult:
-    """Transmit a random payload over the DevTLB channel and score it."""
+    """Transmit a random payload over the DevTLB channel and score it.
+
+    *probe_timeout_cycles* bounds each receiver probe's completion poll;
+    set it (to roughly a third of the bit window) when the run injects
+    submission loss, so a dropped probe is retried inside its own window.
+    """
     config = config or CovertConfig()
-    if system is None:
-        system = CloudSystem(seed=seed)
-    handles = system.setup_topology(AttackTopology.E1_SEPARATE_WQ_SHARED_ENGINE)
-    attack = DsaDevTlbAttack(handles.attacker, wq_id=handles.attacker_wq)
-    attack.calibrate(samples=60)
-
-    sender = CovertSender(
-        handles.victim, handles.victim_wq, config, system.rng, evict_devtlb=True
+    system, sender, receiver = _devtlb_channel_parts(
+        config, seed, system, probe_timeout_cycles
     )
-    receiver = DevTlbCovertReceiver(attack, config)
-
     payload = random_bits(system.rng, payload_bits)
     start = system.clock.now + us_to_cycles(5 * config.bit_window_us)
     sender.schedule_message(system.timeline, payload, start)
     estimated_start = receiver.synchronize(system.timeline)
     received = receiver.receive(system.timeline, estimated_start, payload_bits)
     return _result(payload, received, config)
+
+
+def run_devtlb_framed_message(
+    data: bytes,
+    config: CovertConfig | None = None,
+    seed: int = 2026,
+    system: CloudSystem | None = None,
+    redundancy: int = 1,
+    probe_timeout_cycles: int | None = None,
+) -> tuple[DecodeReport, CovertChannelResult]:
+    """Move real bytes across the DevTLB channel with loss-tolerant framing.
+
+    *data* is framed (sequence number + CRC-8 per frame, repeated
+    *redundancy* times — see :func:`~repro.covert.framing.frame_message`),
+    transmitted, and decoded.  Returns the decode report and the raw
+    channel result; ``report.data[:len(data)]`` recovers the message when
+    every frame survived.
+    """
+    config = config or CovertConfig()
+    system, sender, receiver = _devtlb_channel_parts(
+        config, seed, system, probe_timeout_cycles
+    )
+    payload = frame_message(data, redundancy=redundancy)
+    start = system.clock.now + us_to_cycles(5 * config.bit_window_us)
+    sender.schedule_message(system.timeline, payload, start)
+    estimated_start = receiver.synchronize(system.timeline)
+    received = receiver.receive(system.timeline, estimated_start, len(payload))
+    report = decode_frames(received, redundancy=redundancy)
+    return report, _result(payload, received, config)
 
 
 def run_swq_covert_channel(

@@ -96,30 +96,44 @@ class Frame:
         return cls(sequence=sequence, payload=body[FRAME_HEADER_BITS:].copy())
 
 
-def frame_message(data: bytes) -> np.ndarray:
-    """Frame *data* into a transmit-ready bit stream."""
+def frame_message(data: bytes, redundancy: int = 1) -> np.ndarray:
+    """Frame *data* into a transmit-ready bit stream.
+
+    With *redundancy* > 1 each encoded frame is repeated that many times
+    consecutively — the sender's only loss-tolerance tool, since the
+    channel has **no backchannel** and retransmission-on-NAK is
+    impossible.  The receiver takes the first CRC-valid copy, or falls
+    back to a bitwise majority vote across copies.
+    """
+    if redundancy < 1:
+        raise ValueError(f"redundancy must be >= 1, got {redundancy}")
     bits = bytes_to_bits(data)
     pad = (-len(bits)) % FRAME_PAYLOAD_BITS
     bits = np.concatenate([bits, np.zeros(pad, dtype=np.int8)])
     frames = []
     for index in range(0, len(bits), FRAME_PAYLOAD_BITS):
-        frames.append(
-            Frame(
-                sequence=(index // FRAME_PAYLOAD_BITS) & 0xF,
-                payload=bits[index : index + FRAME_PAYLOAD_BITS],
-            ).encode()
-        )
+        encoded = Frame(
+            sequence=(index // FRAME_PAYLOAD_BITS) & 0xF,
+            payload=bits[index : index + FRAME_PAYLOAD_BITS],
+        ).encode()
+        frames.extend([encoded] * redundancy)
     return np.concatenate(frames)
 
 
 @dataclass(frozen=True)
 class DecodeReport:
-    """Outcome of decoding a received bit stream."""
+    """Outcome of decoding a received bit stream.
+
+    ``frames_accepted`` counts every frame that produced valid payload,
+    including the ``frames_recovered`` subset that needed the
+    majority-vote fallback (no single copy survived intact).
+    """
 
     data: bytes
     frames_total: int
     frames_accepted: int
     frames_rejected: int
+    frames_recovered: int = 0
 
     @property
     def frame_acceptance_rate(self) -> float:
@@ -127,19 +141,43 @@ class DecodeReport:
         return self.frames_accepted / self.frames_total if self.frames_total else 0.0
 
 
-def decode_frames(bits: np.ndarray) -> DecodeReport:
+def decode_frames(bits: np.ndarray, redundancy: int = 1) -> DecodeReport:
     """Decode a received stream back into bytes.
 
-    Rejected frames are replaced with zero bits (their positions are known
-    from the surviving sequence numbers), so the output length is stable.
+    *redundancy* must match the sender's :func:`frame_message` setting.
+    Per logical frame, the first copy whose CRC validates (with the
+    expected sequence number) wins; failing that, a bitwise majority
+    vote across all copies is CRC-checked (counted in
+    ``frames_recovered``).  Rejected frames are replaced with zero bits,
+    so the output length is stable.
     """
+    if redundancy < 1:
+        raise ValueError(f"redundancy must be >= 1, got {redundancy}")
     bits = np.asarray(bits, dtype=np.int8)
-    total = len(bits) // FRAME_BITS
+    total = len(bits) // (FRAME_BITS * redundancy)
     accepted = 0
+    recovered = 0
     payload_chunks = []
     for index in range(total):
-        frame = Frame.decode(bits[index * FRAME_BITS : (index + 1) * FRAME_BITS])
-        if frame is not None and frame.sequence == index & 0xF:
+        base = index * redundancy * FRAME_BITS
+        copies = [
+            bits[base + c * FRAME_BITS : base + (c + 1) * FRAME_BITS]
+            for c in range(redundancy)
+        ]
+        frame = None
+        for copy in copies:
+            candidate = Frame.decode(copy)
+            if candidate is not None and candidate.sequence == index & 0xF:
+                frame = candidate
+                break
+        if frame is None and redundancy > 1:
+            votes = np.stack(copies).sum(axis=0)
+            majority = (votes * 2 >= redundancy).astype(np.int8)
+            candidate = Frame.decode(majority)
+            if candidate is not None and candidate.sequence == index & 0xF:
+                frame = candidate
+                recovered += 1
+        if frame is not None:
             payload_chunks.append(frame.payload)
             accepted += 1
         else:
@@ -152,12 +190,15 @@ def decode_frames(bits: np.ndarray) -> DecodeReport:
         frames_total=total,
         frames_accepted=accepted,
         frames_rejected=total - accepted,
+        frames_recovered=recovered,
     )
 
 
-def goodput_bps(report: DecodeReport, raw_bps: float) -> float:
+def goodput_bps(report: DecodeReport, raw_bps: float, redundancy: int = 1) -> float:
     """Accepted payload bits per second given the channel's raw rate."""
     if raw_bps < 0:
         raise ValueError("raw_bps must be non-negative")
-    efficiency = FRAME_PAYLOAD_BITS / FRAME_BITS
+    if redundancy < 1:
+        raise ValueError(f"redundancy must be >= 1, got {redundancy}")
+    efficiency = FRAME_PAYLOAD_BITS / (FRAME_BITS * redundancy)
     return raw_bps * efficiency * report.frame_acceptance_rate

@@ -49,6 +49,15 @@ class CovertConfig:
             raise ValueError("the preamble needs at least one bit")
         if self.sender_jitter_us < 0:
             raise ValueError("sender_jitter_us cannot be negative")
+        if self.preamble_jitter_us < 0:
+            raise ValueError("preamble_jitter_us cannot be negative")
+        if self.preamble_burst_bits < 0:
+            raise ValueError("preamble_burst_bits cannot be negative")
+        if self.preamble_burst_bits > self.preamble_ones:
+            raise ValueError(
+                f"preamble_burst_bits ({self.preamble_burst_bits}) cannot exceed "
+                f"preamble_ones ({self.preamble_ones})"
+            )
 
     @property
     def raw_bps(self) -> float:

@@ -28,6 +28,7 @@ class CompletionStatus(enum.IntEnum):
     BATCH_FAIL = 0x05
     ABORT = 0x09
     INVALID_DESCRIPTOR = 0x10
+    INVALID_FLAGS = 0x11
 
 
 @dataclass(frozen=True)

@@ -33,6 +33,7 @@ from repro.dsa.engine import Engine, EngineTiming
 from repro.dsa.opcodes import DescriptorFlags, Opcode
 from repro.dsa.wq import HardwareQueueSpace, WorkQueue, WorkQueueConfig
 from repro.errors import ConfigurationError, QueueConfigurationError
+from repro.faults.plan import FaultSite
 from repro.hw.clock import TscClock
 from repro.hw.memory import PhysicalMemory
 from repro.hw.noise import Environment, noise_model_for
@@ -93,6 +94,8 @@ class DeviceStats:
     submissions_retried: int = 0
     descriptors_completed: int = 0
     interrupts_raised: int = 0
+    injected_wq_drains: int = 0
+    injected_drain_aborts: int = 0
 
 
 @dataclass(frozen=True)
@@ -169,6 +172,7 @@ class DsaDevice:
         self._pending_work = 0  # entries awaiting dispatch (fast-path gate)
         self._time = 0
         self.interrupt_log: list[InterruptEvent] = []
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # Configuration (root-only paths are gated by AccelConfig)
@@ -233,6 +237,14 @@ class DsaDevice:
         """
         self.advance_to(time)
         descriptor.validate()
+        if self.fault_injector is not None and self.fault_injector.fire(
+            FaultSite.WQ_DRAIN, timestamp=time, pasid=descriptor.pasid, wq_id=wq_id
+        ):
+            # Mid-flight drain/disable: queued descriptors abort (the idxd
+            # WQ-disable path), then the queue resumes service — including
+            # for the submission that triggered the opportunity.
+            self.stats.injected_wq_drains += 1
+            self.stats.injected_drain_aborts += self.disable_wq(wq_id)
         wq = self.queue_space.get(wq_id)
         entry = wq.try_enqueue(descriptor, time)
         if entry is None:

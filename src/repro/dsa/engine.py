@@ -41,6 +41,7 @@ from repro.dsa.completion import CompletionRecord, CompletionStatus
 from repro.dsa.descriptor import Descriptor, FieldAccess
 from repro.dsa.opcodes import Opcode
 from repro.errors import TranslationFault
+from repro.faults.plan import FaultSite
 from repro.hw.noise import NoiseModel
 from repro.hw.units import PAGE_SHIFT
 
@@ -95,6 +96,8 @@ class EngineStats:
     bytes_processed: int = 0
     faults: int = 0
     busy_cycles: int = 0
+    injected_faults: int = 0
+    injected_stall_cycles: int = 0
 
 
 class Engine:
@@ -133,6 +136,7 @@ class Engine:
         self.timing = timing or EngineTiming()
         self.inflight: list[_InFlight] = []
         self.stats = EngineStats()
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # Processing-unit admission
@@ -190,6 +194,9 @@ class Engine:
         hits = 0
         misses = 0
         fault: TranslationFault | None = None
+        injected_error = None
+        if self.fault_injector is not None:
+            cycles += self._pre_execution_faults(descriptor, timestamp)
 
         translate_total = 0
         data_total = 0
@@ -221,11 +228,32 @@ class Engine:
             cycles += timing.completion_write_cycles
         cycles += max(0, self.noise.sample(self.rng))
 
+        if fault is None and self.fault_injector is not None:
+            injected_error = self.fault_injector.fire(
+                FaultSite.COMPLETION_ERROR,
+                timestamp=timestamp,
+                pasid=descriptor.pasid,
+                engine_id=self.engine_id,
+            )
         if fault is not None:
             record = CompletionRecord(
                 status=CompletionStatus.PAGE_FAULT,
                 bytes_completed=0,
                 fault_address=fault.address,
+            )
+        elif injected_error is not None:
+            # The descriptor dies with an error status and moves no data.
+            self.stats.faults += 1
+            self.stats.injected_faults += 1
+            status = (
+                CompletionStatus.INVALID_FLAGS
+                if injected_error.kind == "invalid_flags"
+                else CompletionStatus.PAGE_FAULT
+            )
+            record = CompletionRecord(
+                status=status,
+                bytes_completed=0,
+                fault_address=descriptor.src if status is CompletionStatus.PAGE_FAULT else 0,
             )
         else:
             record = self._perform_operation(descriptor)
@@ -236,6 +264,43 @@ class Engine:
         return ExecutionOutcome(
             cycles=cycles, record=record, devtlb_hits=hits, devtlb_misses=misses
         )
+
+    def _pre_execution_faults(self, descriptor: Descriptor, timestamp: int) -> int:
+        """Apply injected faults that strike before translation.
+
+        Spurious DevTLB/IOTLB invalidations (a hostile or buggy ATS
+        invalidate-all) and engine stalls; returns the stall cycles to
+        charge to the descriptor.
+        """
+        injector = self.fault_injector
+        stall = 0
+        if injector.fire(
+            FaultSite.DEVTLB_INVALIDATE,
+            timestamp=timestamp,
+            pasid=descriptor.pasid,
+            engine_id=self.engine_id,
+        ):
+            self.stats.injected_faults += 1
+            self.devtlb.invalidate_all()
+        if injector.fire(
+            FaultSite.IOTLB_INVALIDATE,
+            timestamp=timestamp,
+            pasid=descriptor.pasid,
+            engine_id=self.engine_id,
+        ):
+            self.stats.injected_faults += 1
+            self.agent.iotlb.invalidate_all()
+        event = injector.fire(
+            FaultSite.ENGINE_STALL,
+            timestamp=timestamp,
+            pasid=descriptor.pasid,
+            engine_id=self.engine_id,
+        )
+        if event is not None:
+            self.stats.injected_faults += 1
+            stall = event.magnitude_cycles
+            self.stats.injected_stall_cycles += stall
+        return stall
 
     # ------------------------------------------------------------------
     # Translation

@@ -24,7 +24,8 @@ from dataclasses import dataclass, replace
 from repro.dsa.descriptor import BatchDescriptor, Descriptor
 from repro.dsa.device import DsaDevice, SubmissionTicket
 from repro.dsa.wq import WqMode
-from repro.errors import ConfigurationError, QueueFullError
+from repro.errors import CompletionTimeoutError, ConfigurationError, QueueFullError
+from repro.faults.plan import FaultSite
 from repro.hw.pcie import TransactionKind
 
 #: Core-side cost of the enqcmd instruction path, excluding the DMWr
@@ -78,6 +79,40 @@ class Portal:
         self.clock = device.clock
         self.last_ticket: SubmissionTicket | None = None
         self.hidden_dmwr_drops = 0
+        self.faults_injected = 0
+
+    def _submission_fault(self, descriptor: Descriptor | BatchDescriptor) -> bool:
+        """Consult the fault injector at the portal-write site.
+
+        Applies an injected delay, then reports whether the write was
+        dropped outright.  A dropped write looks *accepted* to software
+        (ZF clear / posted write) — the loss is only observable through
+        the never-arriving completion record.
+        """
+        injector = self.device.fault_injector
+        if injector is None:
+            return False
+        delay = injector.fire(
+            FaultSite.SUBMISSION_DELAY,
+            timestamp=self.clock.now,
+            pasid=self.pasid,
+            wq_id=self.wq_id,
+        )
+        if delay is not None:
+            self.faults_injected += 1
+            self.clock.advance(delay.magnitude_cycles)
+        drop = injector.fire(
+            FaultSite.SUBMISSION_DROP,
+            timestamp=self.clock.now,
+            pasid=self.pasid,
+            wq_id=self.wq_id,
+        )
+        if drop is None:
+            return False
+        self.faults_injected += 1
+        self.device.advance_to(self.clock.now)
+        self.last_ticket = None
+        return True
 
     # ------------------------------------------------------------------
     # Raw submission instructions
@@ -100,6 +135,8 @@ class Portal:
             TransactionKind.DMWR
         )
         self.clock.advance(cycles)
+        if self._submission_fault(descriptor):
+            return False
         zf, ticket = self.device.submit(self.wq_id, descriptor, self.clock.now)
         self.last_ticket = ticket
         return zf
@@ -151,11 +188,17 @@ class Portal:
             TransactionKind.POSTED_WRITE
         )
         self.clock.advance(cycles)
+        if self._submission_fault(descriptor):
+            return
         zf, ticket = self.device.submit(self.wq_id, descriptor, self.clock.now)
         if zf:
+            wq = self.device.wq(self.wq_id)
             raise QueueFullError(
                 f"movdir64b to full dedicated WQ {self.wq_id} (undefined on "
-                f"real hardware)"
+                f"real hardware)",
+                wq_id=self.wq_id,
+                occupancy=wq.occupancy,
+                capacity=wq.config.size,
             )
         self.last_ticket = ticket
 
@@ -169,29 +212,62 @@ class Portal:
             self.movdir64b(descriptor)
         else:
             if self.enqcmd(descriptor):
-                raise QueueFullError(f"WQ {self.wq_id} is full")
-        assert self.last_ticket is not None
+                raise QueueFullError(
+                    f"WQ {self.wq_id} is full",
+                    wq_id=self.wq_id,
+                    occupancy=wq.occupancy,
+                    capacity=wq.config.size,
+                )
+        if self.last_ticket is None:
+            # The portal write was lost in flight (injected fault): hand
+            # back a ticket that will never complete, exactly what the
+            # submitting software believes it owns.
+            self.last_ticket = SubmissionTicket(
+                descriptor=descriptor, wq_id=self.wq_id, enqueue_time=self.clock.now
+            )
         return self.last_ticket
 
     def submit_wait(
-        self, descriptor: Descriptor | BatchDescriptor, spin_cycles: int = 200
+        self,
+        descriptor: Descriptor | BatchDescriptor,
+        spin_cycles: int = 200,
+        timeout_cycles: int | None = None,
     ) -> ProbeResult:
         """Submit and poll the completion record (Listing 1).
 
         Returns the completion and the *polled latency*: the cycles from
         just after submission to the poll observing a non-zero status —
         the quantity every timing attack in the paper thresholds.
+        *timeout_cycles* bounds the poll (see :meth:`wait`).
         """
         ticket = self.submit(descriptor)
         start = self.clock.rdtsc()
-        self.wait(ticket, spin_cycles=spin_cycles)
+        self.wait(ticket, spin_cycles=spin_cycles, timeout_cycles=timeout_cycles)
         end = self.clock.rdtsc()
         return ProbeResult(ticket=ticket, latency_cycles=end - start)
 
-    def wait(self, ticket: SubmissionTicket, spin_cycles: int = 200) -> None:
-        """Poll until *ticket* completes (advances the shared clock)."""
+    def wait(
+        self,
+        ticket: SubmissionTicket,
+        spin_cycles: int = 200,
+        timeout_cycles: int | None = None,
+    ) -> None:
+        """Poll until *ticket* completes (advances the shared clock).
+
+        With *timeout_cycles* set, the poll gives up after that many
+        cycles and raises :class:`~repro.errors.CompletionTimeoutError` —
+        the only way software can observe a lost submission.
+        """
         device = self.device
+        deadline = None if timeout_cycles is None else self.clock.now + timeout_cycles
         while ticket.completion_time is None:
+            if deadline is not None and self.clock.now >= deadline:
+                raise CompletionTimeoutError(
+                    f"WQ {self.wq_id}: no completion record after "
+                    f"{timeout_cycles} cycles",
+                    wq_id=self.wq_id,
+                    waited_cycles=timeout_cycles,
+                )
             self.clock.advance(spin_cycles)
             device.advance_to(self.clock.now)
         detect = device.config.timing.poll_detect_cycles

@@ -3,6 +3,13 @@
 Each subpackage defines its own specific errors derived from
 :class:`ReproError` so callers can either catch narrowly (e.g.
 ``TranslationFault``) or broadly (``ReproError``).
+
+Errors that correspond to transient hardware conditions
+(:class:`QueueFullError`, :class:`TranslationFault`,
+:class:`CompletionTimeoutError`) carry structured context — the queue,
+occupancy, PASID, or address involved — so resilient callers and the
+chaos suite can assert on *which* resource failed rather than parsing
+message strings.
 """
 
 from __future__ import annotations
@@ -29,10 +36,11 @@ class PermissionDeniedError(ReproError):
 class TranslationFault(ReproError):
     """An address could not be translated by a page table or the IOMMU."""
 
-    def __init__(self, address: int, message: str = "") -> None:
+    def __init__(self, address: int, message: str = "", pasid: int | None = None) -> None:
         detail = message or f"no translation for address {address:#x}"
         super().__init__(detail)
         self.address = address
+        self.pasid = pasid
 
 
 class OutOfMemoryError(ReproError):
@@ -53,4 +61,62 @@ class QueueFullError(ReproError):
     For ``enqcmd`` this surfaces as ``EFLAGS.ZF = 1`` rather than an
     exception; the exception form exists for the convenience submit path
     and for ``movdir64b`` to a full dedicated queue (whose behavior real
-    hardware leaves undefined)."""
+    hardware leaves undefined).
+
+    ``wq_id``/``occupancy``/``capacity`` carry the refusing queue's state
+    at submission time (``None`` when the raiser cannot know it).
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        wq_id: int | None = None,
+        occupancy: int | None = None,
+        capacity: int | None = None,
+    ) -> None:
+        super().__init__(message or "work queue full")
+        self.wq_id = wq_id
+        self.occupancy = occupancy
+        self.capacity = capacity
+
+
+class CompletionTimeoutError(ReproError):
+    """A polled descriptor never produced a completion record in time.
+
+    On real hardware this is how software observes a *lost* submission
+    (e.g. a dropped portal write): the poll loop gives up after a bounded
+    spin.  Raised only when the caller opts into a poll timeout.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        wq_id: int | None = None,
+        waited_cycles: int | None = None,
+    ) -> None:
+        super().__init__(message or "completion record never arrived")
+        self.wq_id = wq_id
+        self.waited_cycles = waited_cycles
+
+
+class CalibrationError(ReproError):
+    """Threshold calibration could not produce a healthy hit/miss split.
+
+    ``best`` holds the least-bad :class:`~repro.core.calibration.CalibrationResult`
+    observed across the bounded retry attempts (``None`` when no attempt
+    completed at all), so diagnostics can report how close it came.
+    """
+
+    def __init__(self, message: str = "", best: object | None = None) -> None:
+        super().__init__(message or "calibration failed its health check")
+        self.best = best
+
+
+class InsufficientTrialsError(ReproError):
+    """A guarded experiment finished with too few successful trials.
+
+    Raised by :mod:`repro.experiments.guard` when per-trial failures (or
+    an exhausted wall-clock budget) left fewer successes than the caller's
+    floor — the alternative to silently reporting a figure built from
+    nothing.
+    """

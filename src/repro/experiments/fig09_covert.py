@@ -18,6 +18,7 @@ from repro.covert.channel import (
     run_swq_covert_channel,
 )
 from repro.covert.protocol import CovertConfig
+from repro.experiments.guard import run_guarded_trials
 
 #: Bit windows swept for the DevTLB channel (us).
 DEVTLB_WINDOWS_US = (150.0, 100.0, 60.0, 42.5, 32.0, 25.0)
@@ -67,17 +68,26 @@ class Fig9Result:
 def _average_runs(run_fn, windows, runs, payload_bits, seed, **config_kwargs):
     points = []
     for window in windows:
-        errors = []
-        trues = []
-        raw = None
-        for run_index in range(runs):
-            config = CovertConfig(bit_window_us=window, **config_kwargs)
-            result = run_fn(
+        config = CovertConfig(bit_window_us=window, **config_kwargs)
+
+        def trial(run_index, config=config):
+            return run_fn(
                 payload_bits=payload_bits, seed=seed + run_index, config=config
             )
-            errors.append(result.error_rate)
-            trues.append(result.true_bps)
-            raw = result.raw_bps
+
+        # Contain per-run failures (a sync loss on a noisy rung is data,
+        # not a crash): a window with zero surviving runs is dropped from
+        # the sweep instead of aborting the whole figure.
+        guarded = run_guarded_trials(
+            [lambda i=i: trial(i) for i in range(runs)],
+            min_successes=0,
+            label=f"{run_fn.__name__} window={window}us",
+        )
+        if not guarded.results:
+            continue
+        errors = [r.error_rate for r in guarded.results]
+        trues = [r.true_bps for r in guarded.results]
+        raw = guarded.results[0].raw_bps
         points.append((window, raw, float(np.mean(errors)), float(np.mean(trues))))
     return points
 

@@ -1,0 +1,118 @@
+"""Per-trial failure containment for experiment runners.
+
+A figure built from dozens of independent trials should not abort because
+one trial hit a transient fault (a chaos-injected drop, an unhealthy
+calibration, a lost submission).  :func:`run_guarded_trials` runs each
+trial inside a catch boundary and a shared wall-clock budget: failures
+are recorded (not raised), remaining trials are skipped once the budget
+is spent, and only a shortfall below the caller's floor aborts the
+experiment — via :class:`~repro.errors.InsufficientTrialsError`, never a
+silently thinner figure.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.errors import InsufficientTrialsError, ReproError
+
+Trial = Callable[[], Any]
+
+
+@dataclass(frozen=True)
+class TrialFailure:
+    """One contained trial failure."""
+
+    index: int
+    error: Exception
+    elapsed_s: float
+
+
+@dataclass(frozen=True)
+class GuardedRun:
+    """Outcome of a guarded trial batch."""
+
+    results: tuple
+    failures: tuple[TrialFailure, ...]
+    skipped: int
+    label: str = ""
+    elapsed_s: float = 0.0
+
+    @property
+    def attempted(self) -> int:
+        """Trials actually executed (successes + failures)."""
+        return len(self.results) + len(self.failures)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of attempted trials that succeeded."""
+        return len(self.results) / self.attempted if self.attempted else 0.0
+
+    @property
+    def complete(self) -> bool:
+        """Whether every trial ran and succeeded."""
+        return not self.failures and not self.skipped
+
+
+def run_guarded_trials(
+    trials: Sequence[Trial],
+    catch: tuple[type[Exception], ...] = (ReproError,),
+    max_total_seconds: float | None = None,
+    min_successes: int = 1,
+    label: str = "experiment",
+) -> GuardedRun:
+    """Run *trials* (zero-argument callables), containing failures.
+
+    Exceptions matching *catch* are recorded as :class:`TrialFailure`
+    entries; anything else propagates (a programming error should still
+    crash).  Once *max_total_seconds* of wall-clock time is spent, the
+    remaining trials are skipped and counted.  If fewer than
+    *min_successes* trials succeed, :class:`InsufficientTrialsError` is
+    raised with the failure tally in its message.
+    """
+    if min_successes < 0:
+        raise ValueError(f"min_successes must be >= 0, got {min_successes}")
+    if max_total_seconds is not None and max_total_seconds <= 0:
+        raise ValueError(
+            f"max_total_seconds must be positive or None, got {max_total_seconds}"
+        )
+    start = time.monotonic()
+    results: list[Any] = []
+    failures: list[TrialFailure] = []
+    skipped = 0
+    for index, trial in enumerate(trials):
+        if (
+            max_total_seconds is not None
+            and time.monotonic() - start >= max_total_seconds
+        ):
+            skipped = len(trials) - index
+            break
+        trial_start = time.monotonic()
+        try:
+            results.append(trial())
+        except catch as exc:
+            failures.append(
+                TrialFailure(
+                    index=index, error=exc, elapsed_s=time.monotonic() - trial_start
+                )
+            )
+    run = GuardedRun(
+        results=tuple(results),
+        failures=tuple(failures),
+        skipped=skipped,
+        label=label,
+        elapsed_s=time.monotonic() - start,
+    )
+    if len(results) < min_successes:
+        detail = "; ".join(
+            f"trial {f.index}: {type(f.error).__name__}: {f.error}"
+            for f in failures[:3]
+        )
+        raise InsufficientTrialsError(
+            f"{label}: {len(results)}/{len(trials)} trials succeeded "
+            f"(needed {min_successes}; {len(failures)} failed, {skipped} "
+            f"skipped on budget){': ' + detail if detail else ''}"
+        )
+    return run

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.devtlb_attack import DsaDevTlbAttack
 from repro.core.sampling import DevTlbSampler, SamplerConfig
+from repro.experiments.guard import run_guarded_trials
 from repro.hw.noise import Environment
 from repro.virt.system import AttackTopology, CloudSystem
 from repro.workloads.vpp import VppVictim
@@ -81,18 +82,28 @@ def collect_website_dataset(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Traces and labels for a list of sites.
 
-    Returns ``(x, y)`` with ``x`` of shape ``(sites * visits, slots)``.
+    Returns ``(x, y)`` with ``x`` of shape ``(successes, slots)``.  A
+    visit whose collection fails transiently (calibration, injected
+    faults) is dropped rather than aborting the dataset; a site losing
+    *every* visit raises
+    :class:`~repro.errors.InsufficientTrialsError`.
     """
     settings = settings or WfSamplerSettings()
     traces = []
     labels = []
     for label, profile in enumerate(profiles):
-        for visit in range(visits_per_site):
-            trace_seed = seed + label * 10_000 + visit
-            traces.append(
-                collect_website_trace(
-                    profile, trace_seed, settings, environment=environment
-                )
+        trials = [
+            lambda visit=visit: collect_website_trace(
+                profile,
+                seed + label * 10_000 + visit,
+                settings,
+                environment=environment,
             )
-            labels.append(label)
+            for visit in range(visits_per_site)
+        ]
+        guarded = run_guarded_trials(
+            trials, min_successes=1, label=f"site {profile.name!r}"
+        )
+        traces.extend(guarded.results)
+        labels.extend([label] * len(guarded.results))
     return np.stack(traces), np.array(labels)

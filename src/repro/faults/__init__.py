@@ -1,0 +1,28 @@
+"""Seeded, composable fault injection for the DSA model.
+
+The reproduction's experiments run on a cooperative simulator; real
+clouds are not cooperative.  This package provides the chaos layer: a
+:class:`FaultPlan` names *what* to break (dropped portal writes, engine
+stalls, spurious TLB invalidations, mid-flight queue drains, unresolved
+page requests, scheduler preemption) and *when* (per-opportunity
+probability or a simulated-time period), and a :class:`FaultInjector`
+evaluates the plan deterministically at hook points inside the model.
+
+Everything is seeded: the same plan attached to two identically-seeded
+systems yields a byte-identical fault log (:meth:`FaultInjector.log_bytes`)
+and identical experiment output, so chaos scenarios are regression
+tests, not dice rolls.  See ``docs/robustness.md`` for the fault model
+and a walkthrough.
+"""
+
+from repro.faults.injector import FaultEvent, FaultInjector
+from repro.faults.plan import COMPLETION_ERROR_KINDS, FaultPlan, FaultSite, FaultSpec
+
+__all__ = [
+    "COMPLETION_ERROR_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSite",
+    "FaultSpec",
+]

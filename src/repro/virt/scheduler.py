@@ -19,6 +19,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.faults.plan import FaultSite
 from repro.hw.clock import TscClock
 from repro.hw.units import us_to_cycles
 
@@ -40,6 +41,9 @@ class Timeline:
         self._heap: list[_Event] = []
         self._sequence = 0
         self.executed = 0
+        self.fault_injector = None
+        self.preemptions = 0
+        self.preempted_cycles = 0
 
     def schedule_at(self, time: int, action: Action) -> None:
         """Run *action* when the timeline reaches absolute cycle *time*."""
@@ -71,8 +75,22 @@ class Timeline:
 
     def idle_until(self, time: int) -> None:
         """Idle (the attacker's step-2 wait): run due actions, then park
-        the clock at *time*."""
+        the clock at *time*.
+
+        When a fault injector is attached, a ``PREEMPTION`` burst may
+        strike the idling actor: it is descheduled for the burst's
+        duration and resumes late, while actions belonging to *other*
+        actors (the victim's scheduled submissions) still run on time.
+        """
         self.run_until(time)
+        injector = self.fault_injector
+        if injector is not None:
+            event = injector.fire(FaultSite.PREEMPTION, timestamp=time)
+            if event is not None:
+                self.preemptions += 1
+                self.preempted_cycles += event.magnitude_cycles
+                time += event.magnitude_cycles
+                self.run_until(time)
         self.clock.advance_to(time)
 
     def idle_for_us(self, delay_us: float) -> None:

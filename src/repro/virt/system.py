@@ -29,6 +29,7 @@ from repro.dsa.device import DsaDevice, DsaDeviceConfig
 from repro.dsa.portal import Portal
 from repro.dsa.wq import WorkQueueConfig, WqMode
 from repro.errors import ConfigurationError
+from repro.faults import FaultInjector, FaultPlan
 from repro.hw.clock import TscClock
 from repro.hw.memory import PhysicalMemory
 from repro.hw.noise import Environment
@@ -67,6 +68,7 @@ class CloudSystem:
         environment: Environment = Environment.LOCAL,
         device_config: DsaDeviceConfig | None = None,
         memory_bytes: int = 8 * GIB,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.memory = PhysicalMemory(total_bytes=memory_bytes)
         self.clock = TscClock()
@@ -86,6 +88,14 @@ class CloudSystem:
         self.pasid_allocator = PasidAllocator()
         self.vms: dict[str, VirtualMachine] = {}
         self._next_vm_base = 0x10_0000_0000
+        self.fault_injector: FaultInjector | None = None
+        if fault_plan is not None:
+            self.attach_faults(fault_plan.build_injector())
+
+    def attach_faults(self, injector: FaultInjector) -> FaultInjector:
+        """Hook *injector* into the device, engines, PRS, and timeline."""
+        injector.attach_system(self)
+        return injector
 
     # ------------------------------------------------------------------
     # VM / process lifecycle

@@ -1,0 +1,5 @@
+"""Chaos suite: fault injection and attack-pipeline resilience.
+
+Fast deterministic scenarios run with tier 1; long fault storms are
+marked ``chaos`` and excluded by default (see ``scripts/run_chaos.sh``).
+"""

@@ -1,0 +1,181 @@
+"""Unit tests for the fault plan/injector layer (no device involved)."""
+
+import pytest
+
+from repro.faults import (
+    COMPLETION_ERROR_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSite,
+    FaultSpec,
+)
+from repro.hw.units import us_to_cycles
+
+
+class TestFaultSpecValidation:
+    def test_needs_a_trigger(self):
+        with pytest.raises(ValueError, match="arm a trigger"):
+            FaultSpec(site=FaultSite.SUBMISSION_DROP)
+
+    def test_probability_and_period_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            FaultSpec(
+                site=FaultSite.SUBMISSION_DROP, probability=0.5, period_us=10.0
+            )
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(site=FaultSite.SUBMISSION_DROP, probability=1.5)
+
+    def test_kind_only_for_completion_error(self):
+        with pytest.raises(ValueError, match="takes no kind"):
+            FaultSpec(
+                site=FaultSite.ENGINE_STALL, probability=1.0, kind="page_fault"
+            )
+
+    def test_completion_error_kind_defaults_and_validates(self):
+        spec = FaultSpec(site=FaultSite.COMPLETION_ERROR, probability=1.0)
+        assert spec.kind == COMPLETION_ERROR_KINDS[0]
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(
+                site=FaultSite.COMPLETION_ERROR, probability=1.0, kind="meltdown"
+            )
+
+    def test_window_ordering(self):
+        with pytest.raises(ValueError, match="stop_us"):
+            FaultSpec(
+                site=FaultSite.PRS_DROP, probability=1.0, start_us=5.0, stop_us=5.0
+            )
+
+
+class TestFaultPlan:
+    def test_with_site_appends_immutably(self):
+        base = FaultPlan(seed=3)
+        grown = base.with_site(FaultSite.SUBMISSION_DROP, probability=0.1)
+        assert base.specs == ()
+        assert [s.site for s in grown.specs] == [FaultSite.SUBMISSION_DROP]
+
+    def test_sites_deduplicates_in_order(self):
+        plan = (
+            FaultPlan()
+            .with_site(FaultSite.PRS_DROP, probability=0.1)
+            .with_site(FaultSite.SUBMISSION_DROP, probability=0.1)
+            .with_site(FaultSite.PRS_DROP, period_us=10.0)
+        )
+        assert plan.sites() == (FaultSite.PRS_DROP, FaultSite.SUBMISSION_DROP)
+
+    def test_describe_mentions_every_spec(self):
+        plan = (
+            FaultPlan(seed=9)
+            .with_site(FaultSite.SUBMISSION_DROP, probability=0.05, wq_id=1)
+            .with_site(FaultSite.DEVTLB_INVALIDATE, period_us=500.0)
+        )
+        text = plan.describe()
+        assert "submission_drop" in text
+        assert "devtlb_invalidate" in text
+        assert "wq=1" in text
+
+
+class TestFiring:
+    def test_probability_one_always_fires(self):
+        injector = FaultPlan(seed=1).with_site(
+            FaultSite.SUBMISSION_DROP, probability=1.0
+        ).build_injector()
+        for t in range(5):
+            assert injector.fire(FaultSite.SUBMISSION_DROP, timestamp=t) is not None
+        assert injector.total_fired == 5
+
+    def test_wrong_site_never_fires(self):
+        injector = FaultPlan(seed=1).with_site(
+            FaultSite.SUBMISSION_DROP, probability=1.0
+        ).build_injector()
+        assert injector.fire(FaultSite.PRS_DROP, timestamp=0) is None
+
+    def test_scope_filter(self):
+        injector = FaultPlan(seed=1).with_site(
+            FaultSite.SUBMISSION_DROP, probability=1.0, pasid=7
+        ).build_injector()
+        assert injector.fire(FaultSite.SUBMISSION_DROP, timestamp=0, pasid=3) is None
+        assert (
+            injector.fire(FaultSite.SUBMISSION_DROP, timestamp=1, pasid=7) is not None
+        )
+
+    def test_time_window(self):
+        injector = FaultPlan(seed=1).with_site(
+            FaultSite.SUBMISSION_DROP, probability=1.0, start_us=10.0, stop_us=20.0
+        ).build_injector()
+        assert injector.fire(FaultSite.SUBMISSION_DROP, us_to_cycles(5)) is None
+        assert injector.fire(FaultSite.SUBMISSION_DROP, us_to_cycles(15)) is not None
+        assert injector.fire(FaultSite.SUBMISSION_DROP, us_to_cycles(25)) is None
+
+    def test_periodic_fires_once_per_period(self):
+        injector = FaultPlan(seed=1).with_site(
+            FaultSite.DEVTLB_INVALIDATE, period_us=10.0
+        ).build_injector()
+        period = us_to_cycles(10.0)
+        # Opportunities every quarter period: exactly one fire per period.
+        fires = [
+            injector.fire(FaultSite.DEVTLB_INVALIDATE, timestamp=t) is not None
+            for t in range(0, 4 * period, period // 4)
+        ]
+        assert sum(fires) == 3  # periods complete at 1x, 2x, 3x
+
+    def test_periodic_catches_up_after_a_gap(self):
+        injector = FaultPlan(seed=1).with_site(
+            FaultSite.DEVTLB_INVALIDATE, period_us=10.0
+        ).build_injector()
+        period = us_to_cycles(10.0)
+        # One opportunity long after many periods elapsed: a single fire,
+        # and the next due time is past the timestamp (no burst).
+        assert injector.fire(FaultSite.DEVTLB_INVALIDATE, 10 * period) is not None
+        assert injector.fire(FaultSite.DEVTLB_INVALIDATE, 10 * period + 1) is None
+
+    def test_first_matching_spec_wins(self):
+        plan = (
+            FaultPlan(seed=1)
+            .with_site(FaultSite.ENGINE_STALL, probability=1.0, magnitude_cycles=100)
+            .with_site(FaultSite.ENGINE_STALL, probability=1.0, magnitude_cycles=999)
+        )
+        event = plan.build_injector().fire(FaultSite.ENGINE_STALL, timestamp=0)
+        assert event.spec_index == 0
+        assert event.magnitude_cycles == 100
+
+
+class TestLog:
+    def _drops(self, seed=4, p=0.3, n=200):
+        injector = FaultPlan(seed=seed).with_site(
+            FaultSite.SUBMISSION_DROP, probability=p
+        ).build_injector()
+        for t in range(n):
+            injector.fire(FaultSite.SUBMISSION_DROP, timestamp=t, pasid=1, wq_id=0)
+        return injector
+
+    def test_log_bytes_reproducible(self):
+        a, b = self._drops(), self._drops()
+        assert a.log_bytes() == b.log_bytes()
+        assert a.log_bytes()  # non-empty with p=0.3 over 200 tries
+
+    def test_different_seed_different_pattern(self):
+        assert self._drops(seed=4).log_bytes() != self._drops(seed=5).log_bytes()
+
+    def test_log_lines_are_json_with_context(self):
+        import json
+
+        line = json.loads(self._drops().log_lines()[0])
+        assert line["site"] == "submission_drop"
+        assert line["ctx"] == {"pasid": 1, "wq_id": 0}
+
+    def test_log_rotation_counts_dropped(self):
+        injector = FaultInjector(
+            FaultPlan(seed=1).with_site(FaultSite.PRS_DROP, probability=1.0),
+            max_log_events=10,
+        )
+        for t in range(25):
+            injector.fire(FaultSite.PRS_DROP, timestamp=t)
+        assert len(injector.events) == 10
+        assert injector.events_dropped == 15
+        assert injector.total_fired == 25
+        assert injector.events[0].timestamp == 15
+
+    def test_empty_log_is_empty_bytes(self):
+        assert FaultPlan().build_injector().log_bytes() == b""

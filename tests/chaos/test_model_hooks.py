@@ -1,0 +1,208 @@
+"""Each fault site observably perturbs the model at its hook point."""
+
+import pytest
+
+from repro.ats.prs import PageRequestService
+from repro.dsa.completion import CompletionStatus
+from repro.dsa.descriptor import make_memcpy, make_noop
+from repro.errors import CompletionTimeoutError, QueueFullError, TranslationFault
+from repro.faults import FaultPlan, FaultSite
+from repro.hw.clock import TscClock
+from repro.virt.scheduler import Timeline
+from repro.virt.system import AttackTopology, CloudSystem
+
+from tests.conftest import build_host
+
+
+def _plan_one(site, **kwargs):
+    return FaultPlan(seed=5).with_site(site, **kwargs)
+
+
+class TestPortalSites:
+    def test_submission_drop_looks_accepted(self, proc):
+        injector = _plan_one(FaultSite.SUBMISSION_DROP, probability=1.0).build_injector()
+        injector.attach_device(proc.host.device)
+        zf = proc.portal.enqcmd(make_noop(proc.pasid, proc.comp_record()))
+        assert zf is False  # ZF clear: software believes it was accepted
+        assert proc.portal.last_ticket is None
+        assert proc.portal.faults_injected == 1
+        assert proc.host.device.stats.submissions_accepted == 0
+
+    def test_dropped_submission_times_out(self, proc):
+        injector = _plan_one(FaultSite.SUBMISSION_DROP, probability=1.0).build_injector()
+        injector.attach_device(proc.host.device)
+        ticket = proc.portal.submit(make_noop(proc.pasid, proc.comp_record()))
+        assert ticket.completion_time is None
+        with pytest.raises(CompletionTimeoutError) as info:
+            proc.portal.wait(ticket, timeout_cycles=50_000)
+        assert info.value.wq_id == 0
+        assert info.value.waited_cycles == 50_000
+
+    def test_submission_delay_costs_cycles(self, proc):
+        descriptor = make_noop(proc.pasid, proc.comp_record())
+        start = proc.host.clock.now
+        proc.portal.enqcmd(descriptor)
+        baseline = proc.host.clock.now - start
+
+        injector = _plan_one(
+            FaultSite.SUBMISSION_DELAY, probability=1.0, magnitude_cycles=40_000
+        ).build_injector()
+        injector.attach_device(proc.host.device)
+        start = proc.host.clock.now
+        proc.portal.enqcmd(descriptor)
+        assert proc.host.clock.now - start >= baseline + 40_000
+
+    def test_queue_full_error_carries_queue_state(self):
+        host = build_host(wq_size=4)
+        proc = host.new_process()
+        src = proc.buffer(1 << 20)
+        dst = proc.buffer(1 << 20)
+        # Anchor holds the engine; fillers saturate the other slots.
+        proc.portal.submit(make_memcpy(proc.pasid, src, dst, 1 << 20, proc.comp_record()))
+        filler = make_noop(proc.pasid, proc.comp_record())
+        for _ in range(3):
+            proc.portal.submit(filler)
+        with pytest.raises(QueueFullError) as info:
+            proc.portal.submit(filler)
+        assert info.value.wq_id == 0
+        assert info.value.occupancy == info.value.capacity == 4
+
+
+class TestEngineSites:
+    def test_completion_error_page_fault(self, proc):
+        injector = _plan_one(FaultSite.COMPLETION_ERROR, probability=1.0).build_injector()
+        injector.attach_device(proc.host.device)
+        src, dst = proc.buffer(4096), proc.buffer(4096)
+        result = proc.portal.submit_wait(
+            make_memcpy(proc.pasid, src, dst, 256, proc.comp_record())
+        )
+        assert result.record.status is CompletionStatus.PAGE_FAULT
+        assert result.record.bytes_completed == 0
+        engine = proc.host.device.engines[0]
+        assert engine.stats.injected_faults == 1
+
+    def test_completion_error_invalid_flags(self, proc):
+        injector = _plan_one(
+            FaultSite.COMPLETION_ERROR, probability=1.0, kind="invalid_flags"
+        ).build_injector()
+        injector.attach_device(proc.host.device)
+        result = proc.portal.submit_wait(make_noop(proc.pasid, proc.comp_record()))
+        assert result.record.status is CompletionStatus.INVALID_FLAGS
+
+    def test_engine_stall_inflates_latency(self, proc):
+        comp = proc.comp_record()
+        descriptor = make_noop(proc.pasid, comp)
+        baseline = proc.portal.submit_wait(descriptor).latency_cycles
+
+        injector = _plan_one(
+            FaultSite.ENGINE_STALL, probability=1.0, magnitude_cycles=60_000
+        ).build_injector()
+        injector.attach_device(proc.host.device)
+        stalled = proc.portal.submit_wait(descriptor).latency_cycles
+        assert stalled >= baseline + 50_000
+        assert proc.host.device.engines[0].stats.injected_stall_cycles == 60_000
+
+    def test_iotlb_invalidate_forces_agent_misses(self, proc):
+        comp = proc.comp_record()
+        descriptor = make_noop(proc.pasid, comp)
+        proc.portal.submit_wait(descriptor)  # warm both TLBs
+        iotlb = proc.host.device.agent.iotlb
+        warm_misses = iotlb.stats.misses
+
+        # A DevTLB flush alone falls through to a *warm* IOTLB: hits only.
+        injector = _plan_one(FaultSite.DEVTLB_INVALIDATE, probability=1.0).build_injector()
+        injector.attach_device(proc.host.device)
+        proc.portal.submit_wait(descriptor)
+        assert iotlb.stats.misses == warm_misses
+
+        # Flushing the IOTLB too makes the same fall-through miss there.
+        both = (
+            FaultPlan(seed=5)
+            .with_site(FaultSite.DEVTLB_INVALIDATE, probability=1.0)
+            .with_site(FaultSite.IOTLB_INVALIDATE, probability=1.0)
+        ).build_injector()
+        both.attach_device(proc.host.device)
+        proc.portal.submit_wait(descriptor)
+        assert iotlb.stats.misses > warm_misses
+
+    def test_devtlb_invalidate_evicts_primed_entry(self):
+        from repro.core.devtlb_attack import DsaDevTlbAttack
+
+        system = CloudSystem(seed=3)
+        handles = system.setup_topology(AttackTopology.E1_SEPARATE_WQ_SHARED_ENGINE)
+        attack = DsaDevTlbAttack(handles.attacker, wq_id=handles.attacker_wq)
+        attack.prime()
+        assert not attack.probe().evicted  # warm: a hit
+
+        injector = _plan_one(FaultSite.DEVTLB_INVALIDATE, probability=1.0).build_injector()
+        injector.attach_device(system.device)
+        assert attack.probe().evicted  # invalidated before execution: a miss
+
+
+class TestDeviceAndPrsSites:
+    def test_wq_drain_aborts_pending_descriptors(self):
+        host = build_host(wq_size=16)
+        proc = host.new_process()
+        src = proc.buffer(1 << 20)
+        dst = proc.buffer(1 << 20)
+        proc.portal.submit(make_memcpy(proc.pasid, src, dst, 1 << 20, proc.comp_record()))
+        pending = [
+            proc.portal.submit(make_noop(proc.pasid, proc.comp_record()))
+            for _ in range(5)
+        ]
+        injector = _plan_one(FaultSite.WQ_DRAIN, probability=1.0).build_injector()
+        injector.attach_device(host.device)
+        survivor = proc.portal.submit(make_noop(proc.pasid, proc.comp_record()))
+        assert host.device.stats.injected_wq_drains == 1
+        assert host.device.stats.injected_drain_aborts == 5
+        for ticket in pending:
+            assert ticket.record.status is CompletionStatus.ABORT
+        # The queue keeps operating: the triggering submission completes.
+        proc.portal.wait(survivor)
+        assert survivor.record.status is CompletionStatus.SUCCESS
+
+    def test_prs_drop_raises_with_pasid(self):
+        prs = PageRequestService(handler=lambda pasid, va, write: True)
+        injector = _plan_one(FaultSite.PRS_DROP, probability=1.0).build_injector()
+        prs.fault_injector = injector
+        with pytest.raises(TranslationFault) as info:
+            prs.report(pasid=9, virtual_address=0x2000, write=False, timestamp=0)
+        assert info.value.pasid == 9
+        assert prs.failed == 1
+
+    def test_prs_log_is_bounded(self):
+        prs = PageRequestService(handler=lambda pasid, va, write: True, max_log=4)
+        for i in range(6):
+            prs.report(pasid=1, virtual_address=0x1000 * i, write=False, timestamp=i)
+        assert len(prs.log) == 4
+        assert prs.dropped == 2
+        assert prs.log[0].virtual_address == 0x2000  # oldest two rotated out
+        with pytest.raises(ValueError):
+            PageRequestService(max_log=0)
+
+
+class TestSchedulerSite:
+    def test_preemption_burst_delays_the_idler(self):
+        clock = TscClock()
+        timeline = Timeline(clock)
+        injector = _plan_one(
+            FaultSite.PREEMPTION, probability=1.0, magnitude_cycles=30_000
+        ).build_injector()
+        injector.attach_timeline(timeline)
+        timeline.idle_until(100_000)
+        assert clock.now == 130_000
+        assert timeline.preemptions == 1
+        assert timeline.preempted_cycles == 30_000
+
+    def test_victim_actions_still_run_during_preemption(self):
+        clock = TscClock()
+        timeline = Timeline(clock)
+        injector = _plan_one(
+            FaultSite.PREEMPTION, probability=1.0, magnitude_cycles=30_000
+        ).build_injector()
+        injector.attach_timeline(timeline)
+        fired_at = []
+        timeline.schedule_at(110_000, lambda: fired_at.append(clock.now))
+        timeline.idle_until(100_000)
+        # The action fell inside the preemption burst and ran on time.
+        assert fired_at == [110_000]

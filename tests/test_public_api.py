@@ -10,6 +10,7 @@ PACKAGES = [
     "repro.ats",
     "repro.dsa",
     "repro.virt",
+    "repro.faults",
     "repro.core",
     "repro.covert",
     "repro.workloads",
