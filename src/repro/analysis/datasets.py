@@ -5,18 +5,42 @@ takes "approximately a day") and analyzes them offline.  This module
 gives collections a stable on-disk form: traces + labels + class names +
 free-form metadata in one ``.npz``, with the metadata JSON-encoded so the
 file stays self-describing.
+
+Writes are crash-safe: the archive is staged in memory and lands via the
+atomic temp-file + ``os.replace`` path, so a kill mid-save leaves either
+the previous file or the new one — never a truncated zip.  Loads verify
+archive structure and an embedded content checksum and raise
+:class:`~repro.errors.DatasetCorruptionError` on anything torn,
+truncated, or hand-edited.
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
+import pickle
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.errors import DatasetCorruptionError
+from repro.experiments.checkpoint import atomic_write_bytes
+
 #: Format marker stored in every file.
 FORMAT_VERSION = 1
+
+_REQUIRED_KEYS = ("traces", "labels", "class_names", "metadata")
+
+
+def _content_sha256(traces: np.ndarray, labels: np.ndarray) -> str:
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(traces).tobytes())
+    digest.update(np.ascontiguousarray(labels).tobytes())
+    return digest.hexdigest()
 
 
 @dataclass
@@ -70,35 +94,87 @@ class TraceDataset:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> Path:
-        """Write the dataset to *path* (``.npz``)."""
+        """Atomically write the dataset to *path* (``.npz``).
+
+        The archive is serialized to memory first and then written via
+        temp-file + ``os.replace``; a reader never observes a partial
+        zip.  The stored metadata embeds a SHA-256 of the trace/label
+        bytes that :meth:`load` verifies.
+        """
         path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(path.suffix + ".npz")
+        buffer = io.BytesIO()
         np.savez_compressed(
-            path,
+            buffer,
             traces=self.traces,
             labels=self.labels,
             class_names=np.array(self.class_names, dtype=object),
             metadata=json.dumps(
-                {"format_version": FORMAT_VERSION, **self.metadata}
+                {
+                    "format_version": FORMAT_VERSION,
+                    "content_sha256": _content_sha256(self.traces, self.labels),
+                    **self.metadata,
+                }
             ),
         )
-        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+        atomic_write_bytes(path, buffer.getvalue())
+        return path
 
     @classmethod
     def load(cls, path: str | Path) -> "TraceDataset":
-        """Read a dataset written by :meth:`save`."""
-        with np.load(Path(path), allow_pickle=True) as archive:
-            metadata = json.loads(str(archive["metadata"]))
-            version = metadata.pop("format_version", None)
-            if version != FORMAT_VERSION:
-                raise ValueError(
-                    f"unsupported dataset format version {version!r}"
+        """Read a dataset written by :meth:`save`, verifying integrity.
+
+        Raises :class:`~repro.errors.DatasetCorruptionError` (a
+        ``ValueError`` subclass) when the archive is truncated, missing
+        arrays, carries an unknown format version, or fails its embedded
+        content checksum.
+        """
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"no dataset at {path}")
+        try:
+            with np.load(path, allow_pickle=True) as archive:
+                missing = [k for k in _REQUIRED_KEYS if k not in archive.files]
+                if missing:
+                    raise DatasetCorruptionError(
+                        f"{path}: archive is missing arrays {missing} — "
+                        "truncated or not a trace dataset"
+                    )
+                try:
+                    metadata = json.loads(str(archive["metadata"]))
+                except json.JSONDecodeError as exc:
+                    raise DatasetCorruptionError(
+                        f"{path}: embedded metadata is not valid JSON: {exc}"
+                    ) from exc
+                version = metadata.pop("format_version", None)
+                if version != FORMAT_VERSION:
+                    raise DatasetCorruptionError(
+                        f"unsupported dataset format version {version!r}"
+                    )
+                expected = metadata.pop("content_sha256", None)
+                traces = archive["traces"]
+                labels = archive["labels"]
+                if expected is not None:
+                    actual = _content_sha256(traces, labels)
+                    if actual != expected:
+                        raise DatasetCorruptionError(
+                            f"{path}: content checksum mismatch "
+                            f"(stored {expected[:12]}…, computed {actual[:12]}…)"
+                        )
+                return cls(
+                    traces=traces,
+                    labels=labels,
+                    class_names=tuple(str(n) for n in archive["class_names"]),
+                    metadata=metadata,
                 )
-            return cls(
-                traces=archive["traces"],
-                labels=archive["labels"],
-                class_names=tuple(str(n) for n in archive["class_names"]),
-                metadata=metadata,
-            )
+        except (
+            zipfile.BadZipFile, pickle.UnpicklingError, EOFError, OSError
+        ) as exc:
+            raise DatasetCorruptionError(
+                f"{path}: unreadable archive ({exc}) — torn write or "
+                "truncated copy"
+            ) from exc
 
     @classmethod
     def merge(cls, first: "TraceDataset", second: "TraceDataset") -> "TraceDataset":
@@ -113,3 +189,45 @@ class TraceDataset:
             class_names=first.class_names,
             metadata={**second.metadata, **first.metadata},
         )
+
+    @classmethod
+    def merge_many(cls, datasets: Sequence["TraceDataset"]) -> "TraceDataset":
+        """Fold :meth:`merge` over *datasets* (at least one).
+
+        The natural way to combine the segments of an interrupted
+        collection sweep: load the dataset of each run-directory segment
+        and merge them into the artifact an uninterrupted run would have
+        produced.
+        """
+        if not datasets:
+            raise ValueError("merge_many needs at least one dataset")
+        merged = datasets[0]
+        for dataset in datasets[1:]:
+            merged = cls.merge(merged, dataset)
+        return merged
+
+    @classmethod
+    def load_partial(
+        cls, paths: Iterable[str | Path], strict: bool = False
+    ) -> "TraceDataset":
+        """Load and merge whichever of *paths* exist and pass validation.
+
+        Built for crash recovery: point it at the artifact files of
+        several partial runs and get one dataset back.  Corrupt or
+        missing files are skipped (or re-raised with ``strict=True``);
+        if nothing loads, the first error propagates.
+        """
+        loaded: list[TraceDataset] = []
+        first_error: Exception | None = None
+        for path in paths:
+            try:
+                loaded.append(cls.load(path))
+            except (DatasetCorruptionError, FileNotFoundError) as exc:
+                if strict:
+                    raise
+                first_error = first_error or exc
+        if not loaded:
+            raise first_error or FileNotFoundError(
+                "load_partial: no dataset paths given"
+            )
+        return cls.merge_many(loaded)

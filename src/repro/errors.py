@@ -120,3 +120,46 @@ class InsufficientTrialsError(ReproError):
     floor — the alternative to silently reporting a figure built from
     nothing.
     """
+
+
+class CheckpointError(ReproError):
+    """Crash-safe run state on disk is unusable.
+
+    Raised by :mod:`repro.experiments.checkpoint` when a run directory's
+    manifest or trial journal is missing, unparseable, or internally
+    inconsistent — e.g. a journal entry referencing a payload file that
+    does not exist.
+    """
+
+
+class ResumeMismatchError(CheckpointError):
+    """A ``--resume`` target was produced by a different configuration.
+
+    The run manifest records a hash of the experiment plan's
+    configuration; resuming with different parameters (or a different
+    experiment) would silently splice incompatible trial results into
+    one artifact, so the mismatch aborts with this error instead.
+    ``expected``/``actual`` carry the two hashes for diagnostics.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        expected: str | None = None,
+        actual: str | None = None,
+    ) -> None:
+        super().__init__(message or "resume configuration mismatch")
+        self.expected = expected
+        self.actual = actual
+
+
+class DatasetCorruptionError(ReproError, ValueError):
+    """An on-disk artifact failed its integrity check on load.
+
+    A mid-write kill can no longer *tear* an artifact (writes go through
+    temp-file + ``os.replace``), but a file may still be truncated by the
+    filesystem, copied partially, or hand-edited.  Loads validate archive
+    structure and embedded checksums and raise this instead of surfacing
+    a confusing ``zipfile``/JSON error.  Subclasses :class:`ValueError`
+    for compatibility with callers that caught the old validation errors.
+    """

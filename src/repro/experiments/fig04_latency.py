@@ -19,6 +19,12 @@ import numpy as np
 from repro.analysis.reporting import format_table
 from repro.core.calibration import calibrate_threshold
 from repro.core.primitives import Prober
+from repro.experiments.runner import (
+    ExperimentPlan,
+    TrialSpec,
+    execute_plan,
+    require_all,
+)
 from repro.hw.noise import Environment
 from repro.virt.system import AttackTopology, CloudSystem
 
@@ -75,23 +81,55 @@ class Fig4Result:
         )
 
 
-def run(samples: int = 300, seed: int = 4) -> Fig4Result:
-    """Collect the distributions."""
-    rows = []
-    for environment in Environment:
-        system = CloudSystem(seed=seed, environment=environment)
-        system.setup_topology(AttackTopology.E0_SHARED_WQ_SHARED_ENGINE)
-        prober = Prober(system.vms["attacker-vm"].process("attacker"), wq_id=0)
-        calibration = calibrate_threshold(prober, samples=samples)
-        rows.append(
-            EnvironmentLatencies(
-                environment=environment,
-                hit_latencies=calibration.hit_latencies,
-                miss_latencies=calibration.miss_latencies,
-                threshold=calibration.threshold,
-            )
+def _measure_environment(environment: Environment, samples: int, seed: int):
+    system = CloudSystem(seed=seed, environment=environment)
+    system.setup_topology(AttackTopology.E0_SHARED_WQ_SHARED_ENGINE)
+    prober = Prober(system.vms["attacker-vm"].process("attacker"), wq_id=0)
+    calibration = calibrate_threshold(prober, samples=samples)
+    return EnvironmentLatencies(
+        environment=environment,
+        hit_latencies=calibration.hit_latencies,
+        miss_latencies=calibration.miss_latencies,
+        threshold=calibration.threshold,
+    )
+
+
+def trial_plan(samples: int = 300, seed: int = 4) -> ExperimentPlan:
+    """One checkpointable trial per environment.
+
+    The figure compares distributions *across* all four environments, so
+    every trial is required: a missing environment raises rather than
+    rendering a silently thinner figure.
+    """
+    keys = [f"env/{environment.value}" for environment in Environment]
+    trials = tuple(
+        TrialSpec(
+            key=key,
+            fn=lambda environment=environment: _measure_environment(
+                environment, samples, seed
+            ),
         )
-    return Fig4Result(environments=tuple(rows))
+        for key, environment in zip(keys, Environment)
+    )
+
+    def finalize(results: dict) -> Fig4Result:
+        return Fig4Result(
+            environments=tuple(require_all(results, keys, "fig04"))
+        )
+
+    return ExperimentPlan(
+        name="fig04",
+        seed=seed,
+        config=dict(samples=samples, seed=seed),
+        trials=trials,
+        finalize=finalize,
+        min_successes=len(trials),
+    )
+
+
+def run(samples: int = 300, seed: int = 4) -> Fig4Result:
+    """Collect the distributions (through the supervised trial runner)."""
+    return execute_plan(trial_plan(samples=samples, seed=seed))
 
 
 def report(result: Fig4Result) -> str:

@@ -24,6 +24,12 @@ import numpy as np
 
 from repro.analysis.reporting import format_table
 from repro.dsa.descriptor import make_memcpy
+from repro.experiments.runner import (
+    ExperimentPlan,
+    TrialSpec,
+    execute_plan,
+    require_all,
+)
 from repro.virt.system import AttackTopology, CloudSystem
 
 
@@ -107,6 +113,72 @@ def _measure_async_contention(
     return saw_zf
 
 
+def _measure_size(
+    exponent: int, repeats: int, wq_size: int, iteration_cycles: int, seed: int
+) -> SizePoint:
+    size = 1 << exponent
+    system = CloudSystem(seed=seed)
+    system.setup_topology(
+        AttackTopology.E0_SHARED_WQ_SHARED_ENGINE, wq_size=wq_size
+    )
+    submission, completion = _measure_sync(system, size, repeats)
+    contention = _measure_async_contention(
+        size, wq_size, burst=wq_size + 2, iteration_cycles=iteration_cycles,
+        seed=seed,
+    )
+    return SizePoint(
+        size_bytes=size,
+        submission_cycles=submission,
+        completion_cycles=completion,
+        async_contention=contention,
+    )
+
+
+def trial_plan(
+    min_exp: int = 8,
+    max_exp: int = 27,
+    repeats: int = 20,
+    wq_size: int = 128,
+    iteration_cycles: int = 30_000,
+    seed: int = 6,
+) -> ExperimentPlan:
+    """One checkpointable trial per transfer size (fresh system each).
+
+    The DMWr-threshold claim needs the *whole* size axis, so every size
+    is required in ``finalize``.
+    """
+    exponents = list(range(min_exp, max_exp + 1))
+    keys = [f"size/2^{exponent}" for exponent in exponents]
+    trials = tuple(
+        TrialSpec(
+            key=key,
+            fn=lambda exponent=exponent: _measure_size(
+                exponent, repeats, wq_size, iteration_cycles, seed
+            ),
+        )
+        for key, exponent in zip(keys, exponents)
+    )
+
+    def finalize(results: dict) -> Fig6Result:
+        return Fig6Result(points=tuple(require_all(results, keys, "fig06")))
+
+    return ExperimentPlan(
+        name="fig06",
+        seed=seed,
+        config=dict(
+            min_exp=min_exp,
+            max_exp=max_exp,
+            repeats=repeats,
+            wq_size=wq_size,
+            iteration_cycles=iteration_cycles,
+            seed=seed,
+        ),
+        trials=trials,
+        finalize=finalize,
+        min_successes=len(trials),
+    )
+
+
 def run(
     min_exp: int = 8,
     max_exp: int = 27,
@@ -116,27 +188,16 @@ def run(
     seed: int = 6,
 ) -> Fig6Result:
     """Run the sweep over sizes 2^min_exp .. 2^max_exp."""
-    points = []
-    for exponent in range(min_exp, max_exp + 1):
-        size = 1 << exponent
-        system = CloudSystem(seed=seed)
-        system.setup_topology(
-            AttackTopology.E0_SHARED_WQ_SHARED_ENGINE, wq_size=wq_size
-        )
-        submission, completion = _measure_sync(system, size, repeats)
-        contention = _measure_async_contention(
-            size, wq_size, burst=wq_size + 2, iteration_cycles=iteration_cycles,
+    return execute_plan(
+        trial_plan(
+            min_exp=min_exp,
+            max_exp=max_exp,
+            repeats=repeats,
+            wq_size=wq_size,
+            iteration_cycles=iteration_cycles,
             seed=seed,
         )
-        points.append(
-            SizePoint(
-                size_bytes=size,
-                submission_cycles=submission,
-                completion_cycles=completion,
-                async_contention=contention,
-            )
-        )
-    return Fig6Result(points=tuple(points))
+    )
 
 
 def report(result: Fig6Result) -> str:

@@ -18,7 +18,7 @@ from repro.covert.channel import (
     run_swq_covert_channel,
 )
 from repro.covert.protocol import CovertConfig
-from repro.experiments.guard import run_guarded_trials
+from repro.experiments.runner import ExperimentPlan, TrialSpec, execute_plan
 
 #: Bit windows swept for the DevTLB channel (us).
 DEVTLB_WINDOWS_US = (150.0, 100.0, 60.0, 42.5, 32.0, 25.0)
@@ -65,31 +65,88 @@ class Fig9Result:
         return True
 
 
-def _average_runs(run_fn, windows, runs, payload_bits, seed, **config_kwargs):
-    points = []
-    for window in windows:
-        config = CovertConfig(bit_window_us=window, **config_kwargs)
+def _trial_key(primitive: str, window: float, run_index: int) -> str:
+    return f"{primitive}/w{window:g}/r{run_index}"
 
-        def trial(run_index, config=config):
-            return run_fn(
-                payload_bits=payload_bits, seed=seed + run_index, config=config
-            )
 
-        # Contain per-run failures (a sync loss on a noisy rung is data,
-        # not a crash): a window with zero surviving runs is dropped from
-        # the sweep instead of aborting the whole figure.
-        guarded = run_guarded_trials(
-            [lambda i=i: trial(i) for i in range(runs)],
-            min_successes=0,
-            label=f"{run_fn.__name__} window={window}us",
-        )
-        if not guarded.results:
-            continue
-        errors = [r.error_rate for r in guarded.results]
-        trues = [r.true_bps for r in guarded.results]
-        raw = guarded.results[0].raw_bps
-        points.append((window, raw, float(np.mean(errors)), float(np.mean(trues))))
-    return points
+def trial_plan(
+    payload_bits: int = 192,
+    runs: int = 3,
+    seed: int = 2026,
+    devtlb_windows: tuple[float, ...] = DEVTLB_WINDOWS_US,
+    swq_windows: tuple[float, ...] = SWQ_WINDOWS_US,
+) -> ExperimentPlan:
+    """Both sweeps as one checkpointable trial per (primitive, window, run).
+
+    Each trial seeds its own fresh system from the run seed and its run
+    index only, so the sweep resumes deterministically.  Per-run failures
+    are contained by the runner (a sync loss on a noisy rung is data, not
+    a crash): a window with zero surviving runs is dropped from the sweep
+    in ``finalize`` instead of aborting the whole figure.
+    """
+    sweeps = (
+        ("devtlb", run_devtlb_covert_channel, devtlb_windows, payload_bits, {}),
+        (
+            "swq",
+            run_swq_covert_channel,
+            swq_windows,
+            min(payload_bits, 128),
+            dict(sender_jitter_us=27.5, preamble_ones=16, preamble_burst_bits=4),
+        ),
+    )
+    trials: list[TrialSpec] = []
+    for primitive, run_fn, windows, bits, config_kwargs in sweeps:
+        for window in windows:
+            for run_index in range(runs):
+                trials.append(
+                    TrialSpec(
+                        key=_trial_key(primitive, window, run_index),
+                        fn=lambda run_fn=run_fn, window=window, bits=bits,
+                        run_index=run_index, config_kwargs=config_kwargs: run_fn(
+                            payload_bits=bits,
+                            seed=seed + run_index,
+                            config=CovertConfig(
+                                bit_window_us=window, **config_kwargs
+                            ),
+                        ),
+                    )
+                )
+
+    def finalize(results: dict) -> Fig9Result:
+        points: list[SweepPoint] = []
+        for primitive, _run_fn, windows, _bits, _kwargs in sweeps:
+            for window in windows:
+                survivors = [
+                    results[key]
+                    for run_index in range(runs)
+                    if (key := _trial_key(primitive, window, run_index)) in results
+                ]
+                if not survivors:
+                    continue
+                points.append(
+                    SweepPoint(
+                        primitive=primitive,
+                        bit_window_us=window,
+                        raw_bps=survivors[0].raw_bps,
+                        error_rate=float(np.mean([r.error_rate for r in survivors])),
+                        true_bps=float(np.mean([r.true_bps for r in survivors])),
+                    )
+                )
+        return Fig9Result(points=tuple(points))
+
+    return ExperimentPlan(
+        name="fig09",
+        seed=seed,
+        config=dict(
+            payload_bits=payload_bits,
+            runs=runs,
+            seed=seed,
+            devtlb_windows=devtlb_windows,
+            swq_windows=swq_windows,
+        ),
+        trials=tuple(trials),
+        finalize=finalize,
+    )
 
 
 def run(
@@ -99,34 +156,16 @@ def run(
     devtlb_windows: tuple[float, ...] = DEVTLB_WINDOWS_US,
     swq_windows: tuple[float, ...] = SWQ_WINDOWS_US,
 ) -> Fig9Result:
-    """Run both sweeps."""
-    points: list[SweepPoint] = []
-    for window, raw, error, true in _average_runs(
-        run_devtlb_covert_channel, devtlb_windows, runs, payload_bits, seed
-    ):
-        points.append(
-            SweepPoint(
-                primitive="devtlb", bit_window_us=window, raw_bps=raw,
-                error_rate=error, true_bps=true,
-            )
+    """Run both sweeps (through the supervised trial runner)."""
+    return execute_plan(
+        trial_plan(
+            payload_bits=payload_bits,
+            runs=runs,
+            seed=seed,
+            devtlb_windows=devtlb_windows,
+            swq_windows=swq_windows,
         )
-    for window, raw, error, true in _average_runs(
-        run_swq_covert_channel,
-        swq_windows,
-        runs,
-        min(payload_bits, 128),
-        seed,
-        sender_jitter_us=27.5,
-        preamble_ones=16,
-        preamble_burst_bits=4,
-    ):
-        points.append(
-            SweepPoint(
-                primitive="swq", bit_window_us=window, raw_bps=raw,
-                error_rate=error, true_bps=true,
-            )
-        )
-    return Fig9Result(points=tuple(points))
+    )
 
 
 def report(result: Fig9Result) -> str:

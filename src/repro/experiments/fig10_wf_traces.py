@@ -12,6 +12,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.reporting import format_series
+from repro.experiments.runner import (
+    ExperimentPlan,
+    TrialSpec,
+    execute_plan,
+    require_all,
+)
 from repro.experiments.wf_common import WfSamplerSettings, collect_website_trace
 from repro.workloads.websites import WebsiteProfile
 
@@ -46,18 +52,48 @@ class Fig10Result:
         return all(trace.sum() > 0 for trace in self.traces.values())
 
 
+def trial_plan(
+    sites: tuple[str, ...] = EXAMPLE_SITES,
+    settings: WfSamplerSettings | None = None,
+    seed: int = 10,
+) -> ExperimentPlan:
+    """One checkpointable trial per example site (all required — the
+    figure argues sites are *pairwise* distinguishable)."""
+    settings = settings or WfSamplerSettings()
+    keys = [f"site/{name}" for name in sites]
+    trials = tuple(
+        TrialSpec(
+            key=key,
+            fn=lambda name=name, index=index: collect_website_trace(
+                WebsiteProfile.from_name(name), seed + index, settings
+            ),
+        )
+        for index, (key, name) in enumerate(zip(keys, sites))
+    )
+
+    def finalize(results: dict) -> Fig10Result:
+        traces = require_all(results, keys, "fig10")
+        return Fig10Result(
+            traces=dict(zip(sites, traces)), slots=settings.slots
+        )
+
+    return ExperimentPlan(
+        name="fig10",
+        seed=seed,
+        config=dict(sites=sites, settings=settings, seed=seed),
+        trials=trials,
+        finalize=finalize,
+        min_successes=len(trials),
+    )
+
+
 def run(
     sites: tuple[str, ...] = EXAMPLE_SITES,
     settings: WfSamplerSettings | None = None,
     seed: int = 10,
 ) -> Fig10Result:
     """Collect one trace per example site."""
-    settings = settings or WfSamplerSettings()
-    traces = {}
-    for index, name in enumerate(sites):
-        profile = WebsiteProfile.from_name(name)
-        traces[name] = collect_website_trace(profile, seed + index, settings)
-    return Fig10Result(traces=traces, slots=settings.slots)
+    return execute_plan(trial_plan(sites=sites, settings=settings, seed=seed))
 
 
 def report(result: Fig10Result) -> str:

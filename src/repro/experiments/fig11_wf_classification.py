@@ -17,7 +17,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.reporting import format_table
-from repro.experiments.wf_common import WfSamplerSettings, collect_website_dataset
+from repro.experiments.runner import ExperimentPlan, execute_plan
+from repro.experiments.wf_common import (
+    WfSamplerSettings,
+    assemble_website_dataset,
+    website_visit_trials,
+)
 from repro.hw.noise import Environment
 from repro.ml.baseline import NearestCentroidClassifier
 from repro.ml.metrics import accuracy, confusion_matrix
@@ -37,6 +42,75 @@ class Fig11Result:
     test_samples: int
 
 
+def trial_plan(
+    sites: int = 10,
+    visits_per_site: int = 10,
+    settings: WfSamplerSettings | None = None,
+    seed: int = 100,
+    hidden: int = 12,
+    epochs: int = 60,
+    environment: Environment = Environment.LOCAL,
+) -> ExperimentPlan:
+    """One checkpointable trial per (site, visit); training happens in
+    ``finalize`` over whichever visits survived.
+
+    Trace collection dominates the cost (the paper's full sweep takes a
+    day), so that is what gets checkpointed; the deterministic training
+    pass re-runs on resume.  A failed visit is dropped; a site losing
+    every visit aborts via ``assemble_website_dataset``.
+    """
+    settings = settings or WfSamplerSettings(
+        sample_period_us=100.0, samples_per_slot=40, slots=120
+    )
+    profiles = top_sites(sites)
+    trials = website_visit_trials(
+        profiles, visits_per_site, settings, seed=seed, environment=environment
+    )
+
+    def finalize(results: dict) -> Fig11Result:
+        x, y = assemble_website_dataset(profiles, visits_per_site, results)
+        x_train, y_train, x_test, y_test = train_test_split(
+            x, y, test_fraction=0.2, rng=np.random.default_rng(seed)
+        )
+
+        model = AttentionBiLstmClassifier(
+            classes=sites, hidden=hidden, rng=np.random.default_rng(seed + 1)
+        )
+        trainer = Trainer(
+            model, TrainConfig(epochs=epochs, batch_size=32, seed=seed + 2)
+        )
+        trainer.fit(x_train, y_train)
+        predictions = trainer.predict(x_test)
+        bilstm_accuracy = accuracy(y_test, predictions)
+
+        baseline = NearestCentroidClassifier().fit(x_train, y_train)
+        baseline_accuracy = accuracy(y_test, baseline.predict(x_test))
+
+        return Fig11Result(
+            site_names=tuple(p.name for p in profiles),
+            bilstm_accuracy=bilstm_accuracy,
+            baseline_accuracy=baseline_accuracy,
+            matrix=confusion_matrix(y_test, predictions, classes=sites),
+            test_samples=len(y_test),
+        )
+
+    return ExperimentPlan(
+        name="fig11",
+        seed=seed,
+        config=dict(
+            sites=sites,
+            visits_per_site=visits_per_site,
+            settings=settings,
+            seed=seed,
+            hidden=hidden,
+            epochs=epochs,
+            environment=environment,
+        ),
+        trials=tuple(trials),
+        finalize=finalize,
+    )
+
+
 def run(
     sites: int = 10,
     visits_per_site: int = 10,
@@ -47,36 +121,16 @@ def run(
     environment: Environment = Environment.LOCAL,
 ) -> Fig11Result:
     """Collect, train, and score."""
-    settings = settings or WfSamplerSettings(
-        sample_period_us=100.0, samples_per_slot=40, slots=120
-    )
-    profiles = top_sites(sites)
-    x, y = collect_website_dataset(
-        profiles, visits_per_site, settings, seed=seed, environment=environment
-    )
-    x_train, y_train, x_test, y_test = train_test_split(
-        x, y, test_fraction=0.2, rng=np.random.default_rng(seed)
-    )
-
-    model = AttentionBiLstmClassifier(
-        classes=sites, hidden=hidden, rng=np.random.default_rng(seed + 1)
-    )
-    trainer = Trainer(
-        model, TrainConfig(epochs=epochs, batch_size=32, seed=seed + 2)
-    )
-    trainer.fit(x_train, y_train)
-    predictions = trainer.predict(x_test)
-    bilstm_accuracy = accuracy(y_test, predictions)
-
-    baseline = NearestCentroidClassifier().fit(x_train, y_train)
-    baseline_accuracy = accuracy(y_test, baseline.predict(x_test))
-
-    return Fig11Result(
-        site_names=tuple(p.name for p in profiles),
-        bilstm_accuracy=bilstm_accuracy,
-        baseline_accuracy=baseline_accuracy,
-        matrix=confusion_matrix(y_test, predictions, classes=sites),
-        test_samples=len(y_test),
+    return execute_plan(
+        trial_plan(
+            sites=sites,
+            visits_per_site=visits_per_site,
+            settings=settings,
+            seed=seed,
+            hidden=hidden,
+            epochs=epochs,
+            environment=environment,
+        )
     )
 
 

@@ -30,6 +30,12 @@ from repro.analysis.keystroke_eval import KeystrokeEvaluation, evaluate_keystrok
 from repro.analysis.reporting import format_table
 from repro.core.devtlb_attack import DsaDevTlbAttack
 from repro.core.swq_attack import DsaSwqAttack
+from repro.experiments.runner import (
+    ExperimentPlan,
+    TrialSpec,
+    execute_plan,
+    require_all,
+)
 from repro.hw.noise import Environment
 from repro.hw.units import us_to_cycles
 from repro.virt.system import AttackTopology, CloudSystem
@@ -155,15 +161,42 @@ def run_swq_variant(
     )
 
 
+def trial_plan(
+    keystrokes: int = 256,
+    seed: int = 12,
+    environment: Environment = Environment.LOCAL,
+) -> ExperimentPlan:
+    """One checkpointable trial per primitive variant (both required —
+    the figure is the DevTLB/SWQ comparison)."""
+    variants = {
+        "variant/devtlb": lambda: run_devtlb_variant(keystrokes, seed, environment),
+        "variant/swq": lambda: run_swq_variant(keystrokes, seed, environment),
+    }
+    trials = tuple(TrialSpec(key=key, fn=fn) for key, fn in variants.items())
+    keys = list(variants)
+
+    def finalize(results: dict) -> Fig12Result:
+        devtlb, swq = require_all(results, keys, "fig12")
+        return Fig12Result(devtlb=devtlb, swq=swq)
+
+    return ExperimentPlan(
+        name="fig12",
+        seed=seed,
+        config=dict(keystrokes=keystrokes, seed=seed, environment=environment),
+        trials=trials,
+        finalize=finalize,
+        min_successes=len(trials),
+    )
+
+
 def run(
     keystrokes: int = 256,
     seed: int = 12,
     environment: Environment = Environment.LOCAL,
 ) -> Fig12Result:
     """Run both variants on independent sessions."""
-    return Fig12Result(
-        devtlb=run_devtlb_variant(keystrokes, seed, environment),
-        swq=run_swq_variant(keystrokes, seed, environment),
+    return execute_plan(
+        trial_plan(keystrokes=keystrokes, seed=seed, environment=environment)
     )
 
 

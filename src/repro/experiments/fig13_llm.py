@@ -15,6 +15,8 @@ import numpy as np
 from repro.analysis.reporting import format_table
 from repro.core.devtlb_attack import DsaDevTlbAttack
 from repro.core.sampling import DevTlbSampler, SamplerConfig
+from repro.errors import InsufficientTrialsError
+from repro.experiments.runner import ExperimentPlan, TrialSpec, execute_plan
 from repro.hw.noise import Environment
 from repro.ml.baseline import NearestCentroidClassifier
 from repro.ml.metrics import accuracy, confusion_matrix
@@ -80,6 +82,93 @@ def collect_llm_trace(
     return sampler.collect_trace()
 
 
+def trial_plan(
+    traces_per_model: int = 8,
+    settings: LlmSamplerSettings | None = None,
+    models: tuple[LlmModel, ...] = LLM_ZOO,
+    seed: int = 1300,
+    hidden: int = 12,
+    epochs: int = 60,
+    environment: Environment = Environment.LOCAL,
+) -> ExperimentPlan:
+    """One checkpointable trial per (model, trace index).
+
+    Collection dominates cost; training re-runs deterministically in
+    ``finalize``.  A model losing every trace aborts — the classifier's
+    label table must cover the whole zoo.
+    """
+    settings = settings or LlmSamplerSettings()
+
+    def trace_key(model: LlmModel, index: int) -> str:
+        return f"model/{model.name}/trace/{index}"
+
+    trials = tuple(
+        TrialSpec(
+            key=trace_key(model, index),
+            fn=lambda model=model, label=label, index=index: collect_llm_trace(
+                model, seed + label * 1000 + index, settings, environment
+            ),
+        )
+        for label, model in enumerate(models)
+        for index in range(traces_per_model)
+    )
+
+    def finalize(results: dict) -> Fig13Result:
+        traces = []
+        labels = []
+        examples: dict[str, np.ndarray] = {}
+        for label, model in enumerate(models):
+            survivors = [
+                results[key]
+                for index in range(traces_per_model)
+                if (key := trace_key(model, index)) in results
+            ]
+            if not survivors:
+                raise InsufficientTrialsError(
+                    f"model {model.name!r}: 0/{traces_per_model} traces collected"
+                )
+            traces.extend(survivors)
+            labels.extend([label] * len(survivors))
+            examples[model.name] = survivors[0]
+        x = np.stack(traces)
+        y = np.array(labels)
+        x_train, y_train, x_test, y_test = train_test_split(
+            x, y, test_fraction=0.2, rng=np.random.default_rng(seed)
+        )
+        classifier = AttentionBiLstmClassifier(
+            classes=len(models), hidden=hidden, rng=np.random.default_rng(seed + 1)
+        )
+        trainer = Trainer(
+            classifier, TrainConfig(epochs=epochs, batch_size=16, seed=seed)
+        )
+        trainer.fit(x_train, y_train)
+        predictions = trainer.predict(x_test)
+        baseline = NearestCentroidClassifier().fit(x_train, y_train)
+        return Fig13Result(
+            model_names=tuple(m.name for m in models),
+            bilstm_accuracy=accuracy(y_test, predictions),
+            baseline_accuracy=accuracy(y_test, baseline.predict(x_test)),
+            matrix=confusion_matrix(y_test, predictions, classes=len(models)),
+            example_traces=examples,
+        )
+
+    return ExperimentPlan(
+        name="fig13",
+        seed=seed,
+        config=dict(
+            traces_per_model=traces_per_model,
+            settings=settings,
+            models=tuple(m.name for m in models),
+            seed=seed,
+            hidden=hidden,
+            epochs=epochs,
+            environment=environment,
+        ),
+        trials=trials,
+        finalize=finalize,
+    )
+
+
 def run(
     traces_per_model: int = 8,
     settings: LlmSamplerSettings | None = None,
@@ -90,37 +179,16 @@ def run(
     environment: Environment = Environment.LOCAL,
 ) -> Fig13Result:
     """Collect the dataset, train, and score."""
-    settings = settings or LlmSamplerSettings()
-    traces = []
-    labels = []
-    examples: dict[str, np.ndarray] = {}
-    for label, model in enumerate(models):
-        for index in range(traces_per_model):
-            trace = collect_llm_trace(
-                model, seed + label * 1000 + index, settings, environment
-            )
-            traces.append(trace)
-            labels.append(label)
-            if index == 0:
-                examples[model.name] = trace
-    x = np.stack(traces)
-    y = np.array(labels)
-    x_train, y_train, x_test, y_test = train_test_split(
-        x, y, test_fraction=0.2, rng=np.random.default_rng(seed)
-    )
-    classifier = AttentionBiLstmClassifier(
-        classes=len(models), hidden=hidden, rng=np.random.default_rng(seed + 1)
-    )
-    trainer = Trainer(classifier, TrainConfig(epochs=epochs, batch_size=16, seed=seed))
-    trainer.fit(x_train, y_train)
-    predictions = trainer.predict(x_test)
-    baseline = NearestCentroidClassifier().fit(x_train, y_train)
-    return Fig13Result(
-        model_names=tuple(m.name for m in models),
-        bilstm_accuracy=accuracy(y_test, predictions),
-        baseline_accuracy=accuracy(y_test, baseline.predict(x_test)),
-        matrix=confusion_matrix(y_test, predictions, classes=len(models)),
-        example_traces=examples,
+    return execute_plan(
+        trial_plan(
+            traces_per_model=traces_per_model,
+            settings=settings,
+            models=models,
+            seed=seed,
+            hidden=hidden,
+            epochs=epochs,
+            environment=environment,
+        )
     )
 
 

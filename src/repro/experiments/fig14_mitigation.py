@@ -11,6 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.reporting import format_table
+from repro.experiments.runner import (
+    ExperimentPlan,
+    TrialSpec,
+    execute_plan,
+    require_all,
+)
 from repro.mitigation.overhead import OverheadRow, mitigation_overhead_sweep
 
 #: The paper's sweep: 256 B up to 64 KiB.
@@ -42,6 +48,53 @@ class Fig14Result:
         return True
 
 
+def trial_plan(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    iterations: int = 150,
+    scrub_period_us: float = 4.6,
+    seed: int = 99,
+) -> ExperimentPlan:
+    """One checkpointable trial per transfer size.
+
+    The sweep builds a fresh identically-seeded system per (size, path)
+    cell, so per-size trials measure exactly what the monolithic sweep
+    did.  All sizes are required — the figure's claim is the trend.
+    """
+    keys = [f"size/{size}" for size in sizes]
+    trials = tuple(
+        TrialSpec(
+            key=key,
+            fn=lambda size=size: mitigation_overhead_sweep(
+                [size],
+                iterations=iterations,
+                scrub_period_us=scrub_period_us,
+                seed=seed,
+            ),
+        )
+        for key, size in zip(keys, sizes)
+    )
+
+    def finalize(results: dict) -> Fig14Result:
+        per_size = require_all(results, keys, "fig14")
+        return Fig14Result(
+            rows=tuple(row for rows in per_size for row in rows)
+        )
+
+    return ExperimentPlan(
+        name="fig14",
+        seed=seed,
+        config=dict(
+            sizes=sizes,
+            iterations=iterations,
+            scrub_period_us=scrub_period_us,
+            seed=seed,
+        ),
+        trials=trials,
+        finalize=finalize,
+        min_successes=len(trials),
+    )
+
+
 def run(
     sizes: tuple[int, ...] = DEFAULT_SIZES,
     iterations: int = 150,
@@ -49,10 +102,14 @@ def run(
     seed: int = 99,
 ) -> Fig14Result:
     """Run the sweep."""
-    rows = mitigation_overhead_sweep(
-        list(sizes), iterations=iterations, scrub_period_us=scrub_period_us, seed=seed
+    return execute_plan(
+        trial_plan(
+            sizes=sizes,
+            iterations=iterations,
+            scrub_period_us=scrub_period_us,
+            seed=seed,
+        )
     )
-    return Fig14Result(rows=tuple(rows))
 
 
 def report(result: Fig14Result) -> str:

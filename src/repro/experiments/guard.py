@@ -8,6 +8,13 @@ are recorded (not raised), remaining trials are skipped once the budget
 is spent, and only a shortfall below the caller's floor aborts the
 experiment — via :class:`~repro.errors.InsufficientTrialsError`, never a
 silently thinner figure.
+
+The loop also exposes three supervision hooks used by the crash-safe
+runner (:mod:`repro.experiments.runner`): *skip_trial* bypasses trials
+that are already checkpointed or gated off by a circuit breaker, *stop*
+halts the batch early (soft-deadline watchdog), and *on_trial_end* fires
+after every executed trial so results can be journaled to disk before
+the next trial starts.
 """
 
 from __future__ import annotations
@@ -19,6 +26,9 @@ from typing import Any, Callable, Sequence
 from repro.errors import InsufficientTrialsError, ReproError
 
 Trial = Callable[[], Any]
+
+#: ``GuardedRun.stop_reason`` when the wall-clock budget cut the batch.
+STOP_BUDGET = "budget"
 
 
 @dataclass(frozen=True)
@@ -39,6 +49,12 @@ class GuardedRun:
     skipped: int
     label: str = ""
     elapsed_s: float = 0.0
+    #: Why the batch halted early ("" when it ran to the end; ``budget``
+    #: for the wall-clock cut; otherwise whatever *stop* returned).
+    stop_reason: str = ""
+    #: ``(index, reason)`` for trials bypassed by *skip_trial* — already
+    #: checkpointed, breaker-gated, etc.  Not counted as skipped.
+    bypassed: tuple[tuple[int, str], ...] = ()
 
     @property
     def attempted(self) -> int:
@@ -53,7 +69,7 @@ class GuardedRun:
     @property
     def complete(self) -> bool:
         """Whether every trial ran and succeeded."""
-        return not self.failures and not self.skipped
+        return not self.failures and not self.skipped and not self.stop_reason
 
 
 def run_guarded_trials(
@@ -62,6 +78,9 @@ def run_guarded_trials(
     max_total_seconds: float | None = None,
     min_successes: int = 1,
     label: str = "experiment",
+    skip_trial: Callable[[int], str | None] | None = None,
+    stop: Callable[[], str | None] | None = None,
+    on_trial_end: Callable[[int, Any, TrialFailure | None, float], None] | None = None,
 ) -> GuardedRun:
     """Run *trials* (zero-argument callables), containing failures.
 
@@ -71,6 +90,22 @@ def run_guarded_trials(
     remaining trials are skipped and counted.  If fewer than
     *min_successes* trials succeed, :class:`InsufficientTrialsError` is
     raised with the failure tally in its message.
+
+    Supervision hooks (all optional):
+
+    *skip_trial(index)* — return a reason string to bypass that trial
+    without executing it (recorded in ``bypassed``), or ``None`` to run
+    it.  Bypassed trials count toward neither successes nor failures.
+
+    *stop()* — checked before each trial; a non-``None`` reason halts the
+    batch, counts the remaining trials as skipped, and lands in
+    ``stop_reason``.
+
+    *on_trial_end(index, result, failure, elapsed_s)* — called after each
+    executed trial, with either a result (``failure is None``) or a
+    :class:`TrialFailure` (``result is None``) plus the trial's wall
+    time.  Exceptions it raises propagate — a checkpoint that cannot be
+    written must not be ignored.
     """
     if min_successes < 0:
         raise ValueError(f"min_successes must be >= 0, got {min_successes}")
@@ -81,29 +116,50 @@ def run_guarded_trials(
     start = time.monotonic()
     results: list[Any] = []
     failures: list[TrialFailure] = []
+    bypassed: list[tuple[int, str]] = []
     skipped = 0
+    stop_reason = ""
     for index, trial in enumerate(trials):
         if (
             max_total_seconds is not None
             and time.monotonic() - start >= max_total_seconds
         ):
             skipped = len(trials) - index
+            stop_reason = STOP_BUDGET
             break
+        if stop is not None:
+            reason = stop()
+            if reason:
+                skipped = len(trials) - index
+                stop_reason = reason
+                break
+        if skip_trial is not None:
+            reason = skip_trial(index)
+            if reason:
+                bypassed.append((index, reason))
+                continue
         trial_start = time.monotonic()
         try:
-            results.append(trial())
+            result = trial()
         except catch as exc:
-            failures.append(
-                TrialFailure(
-                    index=index, error=exc, elapsed_s=time.monotonic() - trial_start
-                )
-            )
+            elapsed = time.monotonic() - trial_start
+            failure = TrialFailure(index=index, error=exc, elapsed_s=elapsed)
+            failures.append(failure)
+            if on_trial_end is not None:
+                on_trial_end(index, None, failure, elapsed)
+        else:
+            elapsed = time.monotonic() - trial_start
+            results.append(result)
+            if on_trial_end is not None:
+                on_trial_end(index, result, None, elapsed)
     run = GuardedRun(
         results=tuple(results),
         failures=tuple(failures),
         skipped=skipped,
         label=label,
         elapsed_s=time.monotonic() - start,
+        stop_reason=stop_reason,
+        bypassed=tuple(bypassed),
     )
     if len(results) < min_successes:
         detail = "; ".join(

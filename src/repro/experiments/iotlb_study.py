@@ -22,6 +22,12 @@ import numpy as np
 
 from repro.analysis.reporting import format_table
 from repro.core.primitives import Prober
+from repro.experiments.runner import (
+    ExperimentPlan,
+    TrialSpec,
+    execute_plan,
+    require_all,
+)
 from repro.virt.system import AttackTopology, CloudSystem
 
 #: Working-set sizes swept (pages).
@@ -64,12 +70,52 @@ class IotlbStudyResult:
         return inferred <= self.configured_capacity <= upper
 
 
+def trial_plan(
+    working_sets: tuple[int, ...] = DEFAULT_WORKING_SETS,
+    passes: int = 3,
+    seed: int = 77,
+) -> ExperimentPlan:
+    """The sweep as a single checkpointable trial.
+
+    Unlike the per-point figures, this study deliberately shares one
+    system across working-set sizes (allocation state is part of what it
+    probes), so the natural atomic unit is the whole sweep — a crash
+    loses at most one sweep, not a day of dataset collection.
+    """
+    trials = (
+        TrialSpec(key="sweep", fn=lambda: _sweep(working_sets, passes, seed)),
+    )
+
+    def finalize(results: dict) -> IotlbStudyResult:
+        (result,) = require_all(results, ["sweep"], "iotlb")
+        return result
+
+    return ExperimentPlan(
+        name="iotlb",
+        seed=seed,
+        config=dict(working_sets=working_sets, passes=passes, seed=seed),
+        trials=trials,
+        finalize=finalize,
+        min_successes=1,
+    )
+
+
 def run(
     working_sets: tuple[int, ...] = DEFAULT_WORKING_SETS,
     passes: int = 3,
     seed: int = 77,
 ) -> IotlbStudyResult:
     """Run the working-set sweep."""
+    return execute_plan(
+        trial_plan(working_sets=working_sets, passes=passes, seed=seed)
+    )
+
+
+def _sweep(
+    working_sets: tuple[int, ...],
+    passes: int,
+    seed: int,
+) -> IotlbStudyResult:
     system = CloudSystem(seed=seed)
     system.setup_topology(AttackTopology.E0_SHARED_WQ_SHARED_ENGINE)
     attacker = system.vms["attacker-vm"].process("attacker")

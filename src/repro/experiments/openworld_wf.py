@@ -15,7 +15,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.reporting import format_table
-from repro.experiments.wf_common import WfSamplerSettings, collect_website_dataset
+from repro.experiments.runner import ExperimentPlan, execute_plan
+from repro.experiments.wf_common import (
+    WfSamplerSettings,
+    assemble_website_dataset,
+    website_visit_trials,
+)
 from repro.ml.model import AttentionBiLstmClassifier
 from repro.ml.openworld import OpenWorldClassifier, OpenWorldScores
 from repro.ml.train import TrainConfig, Trainer, train_test_split
@@ -33,6 +38,99 @@ class OpenWorldWfResult:
     closed_world_accuracy: float
 
 
+#: Checkpoint-key prefix separating unmonitored-world visits from the
+#: monitored training set in one journal.
+UNMONITORED_PREFIX = "un/"
+
+
+def trial_plan(
+    monitored: int = 5,
+    unmonitored: int = 4,
+    visits_per_site: int = 8,
+    settings: WfSamplerSettings | None = None,
+    seed: int = 700,
+    epochs: int = 60,
+    hidden: int = 10,
+    target_known_recall: float = 0.85,
+) -> ExperimentPlan:
+    """Open-world WF as per-visit trials over both worlds.
+
+    Monitored and unmonitored visits share one journal (unmonitored keys
+    carry :data:`UNMONITORED_PREFIX`); training, threshold calibration,
+    and open-world scoring all live in ``finalize`` so a resumed run
+    trains on exactly the traces an uninterrupted one would have.
+    """
+    settings = settings or WfSamplerSettings(
+        sample_period_us=100.0, samples_per_slot=40, slots=100
+    )
+    profiles = top_sites(monitored + unmonitored)
+    monitored_profiles = profiles[:monitored]
+    unmonitored_profiles = profiles[monitored:]
+    unmonitored_visits = max(visits_per_site // 2, 2)
+
+    trials = website_visit_trials(
+        monitored_profiles, visits_per_site, settings, seed=seed
+    ) + website_visit_trials(
+        unmonitored_profiles, unmonitored_visits, settings,
+        seed=seed + 50_000, key_prefix=UNMONITORED_PREFIX,
+    )
+
+    def finalize(results: dict) -> OpenWorldWfResult:
+        x, y = assemble_website_dataset(
+            monitored_profiles, visits_per_site, results
+        )
+        x_train, y_train, x_test, y_test = train_test_split(
+            x, y, test_fraction=0.25, rng=np.random.default_rng(seed)
+        )
+        model = AttentionBiLstmClassifier(
+            classes=monitored, hidden=hidden, rng=np.random.default_rng(seed + 1)
+        )
+        trainer = Trainer(
+            model,
+            TrainConfig(
+                epochs=epochs, batch_size=16, seed=seed + 2,
+                early_stop_train_accuracy=1.01,
+            ),
+        )
+        trainer.fit(x_train, y_train)
+        closed_world = trainer.evaluate(x_test, y_test)
+
+        open_world = OpenWorldClassifier.from_trainer(trainer)
+        threshold = open_world.calibrate_threshold(
+            x_train, target_known_recall=target_known_recall
+        )
+
+        unknown_x, _ = assemble_website_dataset(
+            unmonitored_profiles, unmonitored_visits, results,
+            key_prefix=UNMONITORED_PREFIX,
+        )
+        scores = open_world.evaluate(x_test, y_test, unknown_x)
+        return OpenWorldWfResult(
+            monitored_sites=tuple(p.name for p in monitored_profiles),
+            unmonitored_sites=tuple(p.name for p in unmonitored_profiles),
+            threshold=threshold,
+            scores=scores,
+            closed_world_accuracy=closed_world,
+        )
+
+    return ExperimentPlan(
+        name="openworld",
+        seed=seed,
+        config=dict(
+            monitored=monitored,
+            unmonitored=unmonitored,
+            visits_per_site=visits_per_site,
+            settings=settings,
+            seed=seed,
+            epochs=epochs,
+            hidden=hidden,
+            target_known_recall=target_known_recall,
+        ),
+        trials=tuple(trials),
+        finalize=finalize,
+    )
+
+
 def run(
     monitored: int = 5,
     unmonitored: int = 4,
@@ -44,48 +142,17 @@ def run(
     target_known_recall: float = 0.85,
 ) -> OpenWorldWfResult:
     """Collect, train on the monitored world, evaluate openly."""
-    settings = settings or WfSamplerSettings(
-        sample_period_us=100.0, samples_per_slot=40, slots=100
-    )
-    profiles = top_sites(monitored + unmonitored)
-    monitored_profiles = profiles[:monitored]
-    unmonitored_profiles = profiles[monitored:]
-
-    x, y = collect_website_dataset(
-        monitored_profiles, visits_per_site, settings, seed=seed
-    )
-    x_train, y_train, x_test, y_test = train_test_split(
-        x, y, test_fraction=0.25, rng=np.random.default_rng(seed)
-    )
-    model = AttentionBiLstmClassifier(
-        classes=monitored, hidden=hidden, rng=np.random.default_rng(seed + 1)
-    )
-    trainer = Trainer(
-        model,
-        TrainConfig(
-            epochs=epochs, batch_size=16, seed=seed + 2,
-            early_stop_train_accuracy=1.01,
-        ),
-    )
-    trainer.fit(x_train, y_train)
-    closed_world = trainer.evaluate(x_test, y_test)
-
-    open_world = OpenWorldClassifier.from_trainer(trainer)
-    threshold = open_world.calibrate_threshold(
-        x_train, target_known_recall=target_known_recall
-    )
-
-    unknown_x, _ = collect_website_dataset(
-        unmonitored_profiles, max(visits_per_site // 2, 2), settings,
-        seed=seed + 50_000,
-    )
-    scores = open_world.evaluate(x_test, y_test, unknown_x)
-    return OpenWorldWfResult(
-        monitored_sites=tuple(p.name for p in monitored_profiles),
-        unmonitored_sites=tuple(p.name for p in unmonitored_profiles),
-        threshold=threshold,
-        scores=scores,
-        closed_world_accuracy=closed_world,
+    return execute_plan(
+        trial_plan(
+            monitored=monitored,
+            unmonitored=unmonitored,
+            visits_per_site=visits_per_site,
+            settings=settings,
+            seed=seed,
+            epochs=epochs,
+            hidden=hidden,
+            target_known_recall=target_known_recall,
+        )
     )
 
 

@@ -26,6 +26,12 @@ from repro.core.primitives import Prober
 from repro.dsa.batch import write_batch_list
 from repro.dsa.descriptor import BatchDescriptor, make_memcpy, make_noop
 from repro.dsa.perfmon import Perfmon
+from repro.experiments.runner import (
+    ExperimentPlan,
+    TrialSpec,
+    execute_plan,
+    require_all,
+)
 from repro.hw.units import HUGE_PAGE_SIZE, PAGE_SIZE
 from repro.virt.system import AttackTopology, CloudSystem
 
@@ -327,19 +333,58 @@ def listing6_swq_arithmetic(results: ReverseEngineeringResults) -> None:
     )
 
 
+#: The Section IV microbenchmarks, in paper order.
+MICROBENCHMARKS = (
+    listing2_single_slot,
+    listing3_independent_fields,
+    listing4_src2_dst_no_interference,
+    huge_page_conflict,
+    cross_page_behavior,
+    batch_fetcher_bypass,
+    fig5_indexing,
+    listing5_arbiter,
+    listing6_swq_arithmetic,
+)
+
+
+def _run_microbenchmark(bench) -> ReverseEngineeringResults:
+    results = ReverseEngineeringResults()
+    bench(results)
+    return results
+
+
+def trial_plan() -> ExperimentPlan:
+    """One checkpointable trial per microbenchmark (each builds its own
+    fresh system); all are required — the suite is a regression test."""
+    keys = [f"bench/{bench.__name__}" for bench in MICROBENCHMARKS]
+    trials = tuple(
+        TrialSpec(
+            key=key,
+            fn=lambda bench=bench: _run_microbenchmark(bench),
+        )
+        for key, bench in zip(keys, MICROBENCHMARKS)
+    )
+
+    def finalize(results: dict) -> ReverseEngineeringResults:
+        merged = ReverseEngineeringResults()
+        for partial in require_all(results, keys, "re"):
+            merged.observations.update(partial.observations)
+            merged.details.update(partial.details)
+        return merged
+
+    return ExperimentPlan(
+        name="re",
+        seed=11,
+        config=dict(),
+        trials=trials,
+        finalize=finalize,
+        min_successes=len(trials),
+    )
+
+
 def run() -> ReverseEngineeringResults:
     """Run the whole Section IV suite."""
-    results = ReverseEngineeringResults()
-    listing2_single_slot(results)
-    listing3_independent_fields(results)
-    listing4_src2_dst_no_interference(results)
-    huge_page_conflict(results)
-    cross_page_behavior(results)
-    batch_fetcher_bypass(results)
-    fig5_indexing(results)
-    listing5_arbiter(results)
-    listing6_swq_arithmetic(results)
-    return results
+    return execute_plan(trial_plan())
 
 
 def report(results: ReverseEngineeringResults) -> str:

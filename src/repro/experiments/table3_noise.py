@@ -21,7 +21,9 @@ import numpy as np
 from repro.analysis.reporting import format_table
 from repro.analysis.stats import confidence_interval_95
 from repro.covert.channel import run_devtlb_covert_channel, run_swq_covert_channel
+from repro.errors import InsufficientTrialsError
 from repro.experiments import fig11_wf_classification, fig12_keystrokes, fig13_llm
+from repro.experiments.runner import ExperimentPlan, TrialSpec, execute_plan
 from repro.experiments.wf_common import WfSamplerSettings
 from repro.hw.noise import Environment
 
@@ -55,6 +57,8 @@ class Table3Result:
     """All metric rows."""
 
     rows: list[MetricRow] = field(default_factory=list)
+    #: Metric names dropped because one of their samples failed.
+    dropped_metrics: tuple[str, ...] = ()
 
     @property
     def all_within_ci(self) -> bool:
@@ -62,21 +66,17 @@ class Table3Result:
         return all(row.noisy_within_ci for row in self.rows)
 
 
-def _metric_across_envs(name, unit, sampler, repeats, widen=1.0, min_h=0.0):
-    """Collect local repetitions + one sample per noisy environment.
+@dataclass(frozen=True)
+class _MetricSpec:
+    """One attack metric: how to sample it and how to widen its CI."""
 
-    *min_h* floors the half-interval — needed for accuracy metrics whose
-    tiny test sets make the t-interval degenerate (e.g. 100 % on every
-    local repetition); the floor is the binomial uncertainty of the test
-    set size, computed by the caller.
-    """
-    local = np.array([sampler(Environment.LOCAL, i) for i in range(repeats)])
-    mean, h = confidence_interval_95(local)
-    h = max(h * widen, min_h, 1e-9)
-    noisy = {env: float(sampler(env, repeats)) for env in NOISY_ENVIRONMENTS}
-    return MetricRow(
-        name=name, local_mean=mean, local_ci_h=h, noisy_values=noisy, unit=unit
-    )
+    slug: str
+    name: str
+    unit: str
+    sampler: object  # Callable[[Environment, int], float]
+    repeats: int
+    widen: float = 1.0
+    min_h: float = 0.0
 
 
 def _binomial_h_percent(test_samples: int) -> float:
@@ -85,19 +85,16 @@ def _binomial_h_percent(test_samples: int) -> float:
     return 196.0 * float(np.sqrt(0.25 / max(test_samples, 1)))
 
 
-def run(
-    repeats: int = 4,
-    covert_bits: int = 192,
-    keystrokes: int = 96,
-    wf_sites: int = 4,
-    wf_visits: int = 5,
-    llm_traces: int = 4,
-    llm_models: int = 4,
-    seed: int = 33,
-) -> Table3Result:
-    """Run the reduced-scale Table III."""
-    result = Table3Result()
+def _metric_specs(
+    repeats, covert_bits, keystrokes, wf_sites, wf_visits, llm_traces,
+    llm_models, seed,
+) -> tuple[_MetricSpec, ...]:
+    """The six Table III metrics with their deterministic samplers.
 
+    Each sample is a pure function of ``(environment, repetition index)``
+    — every call builds a fresh seeded system — so samples can run (and
+    be checkpointed) in any order.
+    """
     # Covert channels: the channel builders accept a prebuilt system.
     from repro.virt.system import CloudSystem
 
@@ -153,35 +150,150 @@ def run(
 
     wf_test = max(int(wf_sites * wf_visits * 0.2), 1)
     llm_test = max(int(llm_models * llm_traces * 0.2), 1)
-    result.rows.append(
-        _metric_across_envs(
-            "CC-devtlb true capacity", "kbps", cc_devtlb_sample, repeats, widen=1.4
-        )
-    )
-    result.rows.append(
-        _metric_across_envs(
-            "CC-swq true capacity", "kbps", cc_swq_sample, repeats, widen=1.4
-        )
-    )
-    result.rows.append(
-        _metric_across_envs(
-            "WF accuracy", "%", wf_sample, max(repeats // 2, 2),
+    return (
+        _MetricSpec(
+            "cc-devtlb", "CC-devtlb true capacity", "kbps", cc_devtlb_sample,
+            repeats, widen=1.4,
+        ),
+        _MetricSpec(
+            "cc-swq", "CC-swq true capacity", "kbps", cc_swq_sample,
+            repeats, widen=1.4,
+        ),
+        _MetricSpec(
+            "wf", "WF accuracy", "%", wf_sample, max(repeats // 2, 2),
             min_h=_binomial_h_percent(wf_test),
-        )
-    )
-    result.rows.append(
-        _metric_across_envs("SSHK-devtlb F1", "%", sshk_devtlb_sample, repeats, widen=1.4)
-    )
-    result.rows.append(
-        _metric_across_envs("SSHK-swq F1", "%", sshk_swq_sample, repeats, widen=1.4)
-    )
-    result.rows.append(
-        _metric_across_envs(
-            "LLMC accuracy", "%", llm_sample, max(repeats // 2, 2),
+        ),
+        _MetricSpec(
+            "sshk-devtlb", "SSHK-devtlb F1", "%", sshk_devtlb_sample,
+            repeats, widen=1.4,
+        ),
+        _MetricSpec(
+            "sshk-swq", "SSHK-swq F1", "%", sshk_swq_sample,
+            repeats, widen=1.4,
+        ),
+        _MetricSpec(
+            "llmc", "LLMC accuracy", "%", llm_sample, max(repeats // 2, 2),
             min_h=_binomial_h_percent(llm_test),
+        ),
+    )
+
+
+def trial_plan(
+    repeats: int = 4,
+    covert_bits: int = 192,
+    keystrokes: int = 96,
+    wf_sites: int = 4,
+    wf_visits: int = 5,
+    llm_traces: int = 4,
+    llm_models: int = 4,
+    seed: int = 33,
+) -> ExperimentPlan:
+    """Table III as one checkpointable trial per (metric, sample).
+
+    Every local repetition and every noisy-environment measurement is an
+    independent trial.  ``finalize`` keeps a metric row only when *all*
+    of its samples survived (a CI from a quietly shrunken sample set
+    would overstate confidence) and aborts if no row survives.
+    """
+    specs = _metric_specs(
+        repeats, covert_bits, keystrokes, wf_sites, wf_visits, llm_traces,
+        llm_models, seed,
+    )
+    trials: list[TrialSpec] = []
+    for spec in specs:
+        for i in range(spec.repeats):
+            trials.append(
+                TrialSpec(
+                    key=f"{spec.slug}/local/{i}",
+                    fn=lambda spec=spec, i=i: float(
+                        spec.sampler(Environment.LOCAL, i)
+                    ),
+                )
+            )
+        for env in NOISY_ENVIRONMENTS:
+            trials.append(
+                TrialSpec(
+                    key=f"{spec.slug}/{env.value}",
+                    fn=lambda spec=spec, env=env: float(
+                        spec.sampler(env, spec.repeats)
+                    ),
+                )
+            )
+
+    def finalize(results: dict) -> Table3Result:
+        result = Table3Result()
+        dropped: list[str] = []
+        for spec in specs:
+            local_keys = [f"{spec.slug}/local/{i}" for i in range(spec.repeats)]
+            noisy_keys = {env: f"{spec.slug}/{env.value}" for env in NOISY_ENVIRONMENTS}
+            if any(k not in results for k in local_keys) or any(
+                k not in results for k in noisy_keys.values()
+            ):
+                dropped.append(spec.name)
+                continue
+            local = np.array([results[k] for k in local_keys])
+            mean, h = confidence_interval_95(local)
+            h = max(h * spec.widen, spec.min_h, 1e-9)
+            result.rows.append(
+                MetricRow(
+                    name=spec.name,
+                    local_mean=mean,
+                    local_ci_h=h,
+                    noisy_values={
+                        env: results[key] for env, key in noisy_keys.items()
+                    },
+                    unit=spec.unit,
+                )
+            )
+        if not result.rows:
+            raise InsufficientTrialsError(
+                f"table3: every metric row lost samples ({len(dropped)} dropped)"
+            )
+        if dropped:
+            result.dropped_metrics = tuple(dropped)
+        return result
+
+    return ExperimentPlan(
+        name="table3",
+        seed=seed,
+        config=dict(
+            repeats=repeats,
+            covert_bits=covert_bits,
+            keystrokes=keystrokes,
+            wf_sites=wf_sites,
+            wf_visits=wf_visits,
+            llm_traces=llm_traces,
+            llm_models=llm_models,
+            seed=seed,
+        ),
+        trials=tuple(trials),
+        finalize=finalize,
+    )
+
+
+def run(
+    repeats: int = 4,
+    covert_bits: int = 192,
+    keystrokes: int = 96,
+    wf_sites: int = 4,
+    wf_visits: int = 5,
+    llm_traces: int = 4,
+    llm_models: int = 4,
+    seed: int = 33,
+) -> Table3Result:
+    """Run the reduced-scale Table III."""
+    return execute_plan(
+        trial_plan(
+            repeats=repeats,
+            covert_bits=covert_bits,
+            keystrokes=keystrokes,
+            wf_sites=wf_sites,
+            wf_visits=wf_visits,
+            llm_traces=llm_traces,
+            llm_models=llm_models,
+            seed=seed,
         )
     )
-    return result
 
 
 def report(result: Table3Result) -> str:

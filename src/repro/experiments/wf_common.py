@@ -5,17 +5,29 @@ One trace = one fresh two-VM system: the victim VM replays a workload
 path while the attacker VM runs the ``DSA_DevTLB`` sampler on the shared
 engine.  Everything interleaves on the shared timeline, so the traces are
 measured, not synthesized.
+
+Collection is expressed as independent per-visit trials
+(:func:`website_visit_trials`) so the crash-safe runner can checkpoint a
+dataset sweep visit-by-visit; :func:`assemble_website_dataset` rebuilds
+the ``(x, y)`` arrays from whichever trials succeeded, and
+:func:`dataset_from_run_dir` lifts a (possibly partial) checkpointed run
+directory into a :class:`~repro.analysis.datasets.TraceDataset`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.datasets import TraceDataset
 from repro.core.devtlb_attack import DsaDevTlbAttack
 from repro.core.sampling import DevTlbSampler, SamplerConfig
+from repro.errors import InsufficientTrialsError
+from repro.experiments.checkpoint import CheckpointJournal, RunManifest
 from repro.experiments.guard import run_guarded_trials
+from repro.experiments.runner import TrialSpec
 from repro.hw.noise import Environment
 from repro.virt.system import AttackTopology, CloudSystem
 from repro.workloads.vpp import VppVictim
@@ -73,6 +85,75 @@ def collect_website_trace(
     return sampler.collect_trace()
 
 
+def visit_trial_key(site: str, visit: int) -> str:
+    """Stable checkpoint key of one website visit."""
+    return f"site/{site}/visit/{visit}"
+
+
+def website_visit_trials(
+    profiles: list[WebsiteProfile],
+    visits_per_site: int,
+    settings: WfSamplerSettings | None = None,
+    seed: int = 1000,
+    environment: Environment = Environment.LOCAL,
+    key_prefix: str = "",
+) -> list[TrialSpec]:
+    """One independent, deterministic trial per (site, visit).
+
+    The trial seed depends only on the site's index and the visit number
+    — never on execution order — so a resumed sweep collects exactly the
+    traces an uninterrupted one would have.
+    """
+    settings = settings or WfSamplerSettings()
+    specs: list[TrialSpec] = []
+    for label, profile in enumerate(profiles):
+        for visit in range(visits_per_site):
+            specs.append(
+                TrialSpec(
+                    key=key_prefix + visit_trial_key(profile.name, visit),
+                    fn=lambda profile=profile, label=label, visit=visit: (
+                        collect_website_trace(
+                            profile,
+                            seed + label * 10_000 + visit,
+                            settings,
+                            environment=environment,
+                        )
+                    ),
+                )
+            )
+    return specs
+
+
+def assemble_website_dataset(
+    profiles: list[WebsiteProfile],
+    visits_per_site: int,
+    results: dict[str, np.ndarray],
+    key_prefix: str = "",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rebuild ``(x, y)`` from per-visit trial results.
+
+    A visit whose trial failed is simply absent from *results* and is
+    dropped; a site with *no* surviving visit raises
+    :class:`~repro.errors.InsufficientTrialsError` — a dataset silently
+    missing a class would poison the classifier's label table.
+    """
+    traces: list[np.ndarray] = []
+    labels: list[int] = []
+    for label, profile in enumerate(profiles):
+        site_traces = [
+            results[key]
+            for visit in range(visits_per_site)
+            if (key := key_prefix + visit_trial_key(profile.name, visit)) in results
+        ]
+        if not site_traces:
+            raise InsufficientTrialsError(
+                f"site {profile.name!r}: 0/{visits_per_site} visits succeeded"
+            )
+        traces.extend(site_traces)
+        labels.extend([label] * len(site_traces))
+    return np.stack(traces), np.array(labels)
+
+
 def collect_website_dataset(
     profiles: list[WebsiteProfile],
     visits_per_site: int,
@@ -89,21 +170,66 @@ def collect_website_dataset(
     :class:`~repro.errors.InsufficientTrialsError`.
     """
     settings = settings or WfSamplerSettings()
-    traces = []
-    labels = []
+    results: dict[str, np.ndarray] = {}
     for label, profile in enumerate(profiles):
-        trials = [
-            lambda visit=visit: collect_website_trace(
-                profile,
-                seed + label * 10_000 + visit,
-                settings,
-                environment=environment,
-            )
-            for visit in range(visits_per_site)
-        ]
-        guarded = run_guarded_trials(
-            trials, min_successes=1, label=f"site {profile.name!r}"
+        specs = website_visit_trials(
+            [profile], visits_per_site, settings, seed + label * 10_000,
+            environment,
         )
-        traces.extend(guarded.results)
-        labels.extend([label] * len(guarded.results))
-    return np.stack(traces), np.array(labels)
+        # Per-profile seed base must match the all-profiles enumeration:
+        # website_visit_trials offsets by the *local* label (0 here), so
+        # shift the base seed by the global label instead.
+        guarded = run_guarded_trials(
+            [spec.fn for spec in specs],
+            min_successes=1,
+            label=f"site {profile.name!r}",
+        )
+        survivors = iter(guarded.results)
+        failed_indices = {failure.index for failure in guarded.failures}
+        for visit in range(visits_per_site):
+            if visit not in failed_indices:
+                results[visit_trial_key(profile.name, visit)] = next(survivors)
+    return assemble_website_dataset(profiles, visits_per_site, results)
+
+
+def dataset_from_run_dir(
+    run_dir: str | Path, key_prefix: str = ""
+) -> TraceDataset:
+    """Lift a checkpointed fingerprinting run into a
+    :class:`~repro.analysis.datasets.TraceDataset`.
+
+    Works on *partial* runs — interrupted, deadline-stopped, or
+    breaker-degraded — returning whatever visits were journaled, so a
+    crashed overnight sweep is still analyzable (and mergeable with its
+    resumed continuation via :meth:`TraceDataset.merge`).
+    """
+    journal = CheckpointJournal.load(run_dir)
+    manifest = RunManifest.load(run_dir)
+    prefix = key_prefix + "site/"
+    traces: list[np.ndarray] = []
+    names: list[str] = []
+    class_names: list[str] = []
+    for entry in journal.entries():
+        if not entry.ok or not entry.key.startswith(prefix):
+            continue
+        site = entry.key[len(prefix):].split("/visit/")[0]
+        traces.append(np.asarray(journal.load_payload(entry.key)))
+        names.append(site)
+        if site not in class_names:
+            class_names.append(site)
+    if not traces:
+        raise InsufficientTrialsError(
+            f"{run_dir}: no completed visit trials in checkpoint journal"
+        )
+    labels = np.array([class_names.index(name) for name in names])
+    return TraceDataset(
+        traces=np.stack(traces),
+        labels=labels,
+        class_names=tuple(class_names),
+        metadata={
+            "experiment": manifest.experiment,
+            "config_hash": manifest.config_hash,
+            "run_status": manifest.status,
+            "seed": manifest.seed,
+        },
+    )

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.datasets import FORMAT_VERSION, TraceDataset
+from repro.errors import DatasetCorruptionError
 
 
 def sample_dataset(samples_per_class=4, slots=20, classes=("a.com", "b.com")):
@@ -63,6 +64,79 @@ class TestPersistence:
         )
         with pytest.raises(ValueError):
             TraceDataset.load(path)
+
+    def test_save_is_atomic_no_temp_residue(self, tmp_path):
+        sample_dataset().save(tmp_path / "wf.npz")
+        assert [p.name for p in tmp_path.iterdir()] == ["wf.npz"]
+
+    def test_suffix_normalized(self, tmp_path):
+        path = sample_dataset().save(tmp_path / "wf")
+        assert path.name == "wf.npz"
+        TraceDataset.load(path)
+
+
+class TestCorruptionDetection:
+    def test_truncated_archive_detected(self, tmp_path):
+        path = sample_dataset().save(tmp_path / "wf.npz")
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(DatasetCorruptionError, match="unreadable"):
+            TraceDataset.load(path)
+
+    def test_content_checksum_detects_tampered_traces(self, tmp_path):
+        dataset = sample_dataset()
+        path = dataset.save(tmp_path / "wf.npz")
+        # Rewrite the archive with one flipped trace but the old checksum.
+        with np.load(path, allow_pickle=True) as archive:
+            metadata = str(archive["metadata"])
+            traces = archive["traces"].copy()
+            labels = archive["labels"]
+            class_names = archive["class_names"]
+        traces[0, 0] += 1
+        np.savez_compressed(
+            path, traces=traces, labels=labels, class_names=class_names,
+            metadata=metadata,
+        )
+        with pytest.raises(DatasetCorruptionError, match="checksum mismatch"):
+            TraceDataset.load(path)
+
+    def test_missing_arrays_detected(self, tmp_path):
+        path = tmp_path / "wf.npz"
+        np.savez_compressed(path, traces=np.zeros((2, 4)))
+        with pytest.raises(DatasetCorruptionError, match="missing arrays"):
+            TraceDataset.load(path)
+
+    def test_corruption_error_is_a_value_error(self):
+        assert issubclass(DatasetCorruptionError, ValueError)
+
+
+class TestPartialRecovery:
+    def test_merge_many_folds_segments(self):
+        merged = TraceDataset.merge_many([sample_dataset(), sample_dataset()])
+        assert merged.samples == 16
+
+    def test_merge_many_requires_input(self):
+        with pytest.raises(ValueError):
+            TraceDataset.merge_many([])
+
+    def test_load_partial_skips_corrupt_segments(self, tmp_path):
+        good = sample_dataset().save(tmp_path / "seg0.npz")
+        bad = sample_dataset().save(tmp_path / "seg1.npz")
+        bad.write_bytes(b"not a zip")
+        merged = TraceDataset.load_partial(
+            [good, bad, tmp_path / "missing.npz"]
+        )
+        assert merged.samples == 8
+
+    def test_load_partial_strict_raises(self, tmp_path):
+        good = sample_dataset().save(tmp_path / "seg0.npz")
+        bad = sample_dataset().save(tmp_path / "seg1.npz")
+        bad.write_bytes(b"not a zip")
+        with pytest.raises(DatasetCorruptionError):
+            TraceDataset.load_partial([good, bad], strict=True)
+
+    def test_load_partial_nothing_loadable_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            TraceDataset.load_partial([tmp_path / "missing.npz"])
 
 
 class TestCombinators:

@@ -1,0 +1,131 @@
+"""Edge-case tests for the trial guard (satellite of the crash-safe
+runner work): degenerate budgets, exact floors, last-trial failures, and
+total budget exhaustion."""
+
+import time
+
+import pytest
+
+from repro.errors import InsufficientTrialsError, ReproError
+from repro.experiments.guard import STOP_BUDGET, run_guarded_trials
+
+
+def _ok(value=1):
+    return lambda: value
+
+
+def _bad(message="transient"):
+    def fn():
+        raise ReproError(message)
+
+    return fn
+
+
+class TestDegenerateBudgets:
+    def test_zero_budget_rejected(self):
+        with pytest.raises(ValueError, match="positive or None"):
+            run_guarded_trials([_ok()], max_total_seconds=0.0)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="positive or None"):
+            run_guarded_trials([_ok()], max_total_seconds=-5.0)
+
+    def test_negative_floor_rejected(self):
+        with pytest.raises(ValueError, match="min_successes"):
+            run_guarded_trials([_ok()], min_successes=-1)
+
+    def test_zero_floor_allows_total_failure(self):
+        run = run_guarded_trials([_bad(), _bad()], min_successes=0)
+        assert run.results == ()
+        assert len(run.failures) == 2
+
+
+class TestExactFloor:
+    def test_floor_equal_to_trial_count_passes_when_all_succeed(self):
+        run = run_guarded_trials([_ok(1), _ok(2), _ok(3)], min_successes=3)
+        assert run.results == (1, 2, 3)
+        assert run.complete
+
+    def test_floor_equal_to_trial_count_fails_on_any_failure(self):
+        with pytest.raises(InsufficientTrialsError, match="2/3"):
+            run_guarded_trials([_ok(), _bad(), _ok()], min_successes=3)
+
+
+class TestFinalTrialFailure:
+    def test_failure_on_final_trial_recorded_not_lost(self):
+        run = run_guarded_trials(
+            [_ok(1), _ok(2), _bad("last gasp")], min_successes=2
+        )
+        assert run.results == (1, 2)
+        assert len(run.failures) == 1
+        assert run.failures[0].index == 2
+        assert "last gasp" in str(run.failures[0].error)
+        assert not run.complete
+
+    def test_failure_on_final_trial_below_floor_aborts(self):
+        with pytest.raises(InsufficientTrialsError, match="last gasp"):
+            run_guarded_trials([_ok(), _bad("last gasp")], min_successes=2)
+
+
+class TestBudgetExhaustion:
+    def test_budget_exhaustion_with_zero_completed(self):
+        """The first trial burns the whole budget *and* fails: everything
+        after it is skipped and the floor check names both causes."""
+
+        def slow_failure():
+            time.sleep(0.02)
+            raise ReproError("burned the budget")
+
+        with pytest.raises(InsufficientTrialsError) as info:
+            run_guarded_trials(
+                [slow_failure, _ok(), _ok()],
+                max_total_seconds=0.01,
+                min_successes=1,
+            )
+        message = str(info.value)
+        assert "0/3" in message
+        assert "2 skipped on budget" in message
+
+    def test_budget_cut_sets_stop_reason(self):
+        def slow():
+            time.sleep(0.02)
+            return 1
+
+        run = run_guarded_trials(
+            [slow, _ok(), _ok()], max_total_seconds=0.01, min_successes=1
+        )
+        assert run.stop_reason == STOP_BUDGET
+        assert run.skipped == 2
+
+
+class TestSupervisionHooks:
+    def test_stop_hook_halts_batch_with_reason(self):
+        run = run_guarded_trials(
+            [_ok(), _ok(), _ok()],
+            min_successes=0,
+            stop=lambda: "deadline",
+        )
+        assert run.stop_reason == "deadline"
+        assert run.results == ()
+        assert run.skipped == 3
+
+    def test_skip_hook_bypasses_without_counting(self):
+        run = run_guarded_trials(
+            [_ok(1), _ok(2), _ok(3)],
+            min_successes=1,
+            skip_trial=lambda index: "resumed" if index == 1 else None,
+        )
+        assert run.results == (1, 3)
+        assert run.bypassed == ((1, "resumed"),)
+        assert run.skipped == 0
+
+    def test_on_trial_end_sees_both_outcomes(self):
+        seen = []
+        run_guarded_trials(
+            [_ok(7), _bad()],
+            min_successes=1,
+            on_trial_end=lambda index, result, failure, elapsed_s: seen.append(
+                (index, result, failure is not None, elapsed_s >= 0.0)
+            ),
+        )
+        assert seen == [(0, 7, False, True), (1, None, True, True)]

@@ -1,0 +1,108 @@
+"""Interrupt/resume equivalence: a run killed at trial *k* and resumed
+must produce a byte-identical artifact to an uninterrupted run.
+
+The fig09 case is tiny and runs in tier-1; the table3 sweep exercises
+the full cross-experiment surface and is marked ``resume`` (run via
+``scripts/run_resume_smoke.sh`` or ``pytest -m resume``).
+"""
+
+import pickle
+
+import pytest
+
+from repro.experiments import fig09_covert, table3_noise
+from repro.experiments.checkpoint import (
+    STATUS_COMPLETED,
+    STATUS_INTERRUPTED,
+    RunManifest,
+)
+from repro.experiments.runner import (
+    ExperimentPlan,
+    TrialSpec,
+    execute_plan,
+    run_experiment,
+)
+
+
+def _interrupt_at(plan: ExperimentPlan, k: int) -> ExperimentPlan:
+    """A copy of *plan* whose *k*-th trial dies mid-run."""
+
+    def boom():
+        raise KeyboardInterrupt
+
+    return ExperimentPlan(
+        name=plan.name,
+        seed=plan.seed,
+        config=plan.config,
+        trials=tuple(
+            TrialSpec(key=spec.key, fn=boom if index == k else spec.fn)
+            for index, spec in enumerate(plan.trials)
+        ),
+        finalize=plan.finalize,
+        min_successes=plan.min_successes,
+    )
+
+
+def _assert_resume_equivalent(plan_factory, k, tmp_path):
+    """Kill a checkpointed run at trial *k*, resume it, and compare the
+    artifact byte-for-byte against an uninterrupted run."""
+    reference = execute_plan(plan_factory())
+
+    interrupted = run_experiment(_interrupt_at(plan_factory(), k), run_dir=tmp_path)
+    assert interrupted.status == STATUS_INTERRUPTED
+    assert interrupted.completed == k
+
+    resumed = run_experiment(plan_factory(), run_dir=tmp_path, resume=True)
+    assert resumed.status == STATUS_COMPLETED
+    assert resumed.resumed == k
+
+    assert pickle.dumps(resumed.result, protocol=4) == pickle.dumps(
+        reference, protocol=4
+    ), "resumed artifact differs from uninterrupted run"
+
+    manifest = RunManifest.load(tmp_path)
+    assert [s["event"] for s in manifest.segments] == ["start", "resume"]
+    return resumed.result
+
+
+class TestFig09Resume:
+    def test_interrupted_resume_is_byte_identical(self, tmp_path):
+        def factory():
+            return fig09_covert.trial_plan(
+                payload_bits=48,
+                runs=1,
+                devtlb_windows=(50.0, 100.0),
+                swq_windows=(50.0,),
+            )
+
+        result = _assert_resume_equivalent(factory, k=1, tmp_path=tmp_path)
+        primitives = [p.primitive for p in result.points]
+        assert primitives.count("devtlb") == 2
+        assert primitives.count("swq") == 1
+
+    def test_interrupt_before_first_trial_resumes_cleanly(self, tmp_path):
+        def factory():
+            return fig09_covert.trial_plan(
+                payload_bits=48, runs=1,
+                devtlb_windows=(50.0,), swq_windows=(50.0,),
+            )
+
+        _assert_resume_equivalent(factory, k=0, tmp_path=tmp_path)
+
+
+@pytest.mark.resume
+class TestTable3Resume:
+    def test_interrupted_resume_is_byte_identical(self, tmp_path):
+        def factory():
+            return table3_noise.trial_plan(
+                repeats=2,
+                covert_bits=24,
+                keystrokes=8,
+                wf_sites=2,
+                wf_visits=2,
+                llm_traces=2,
+                llm_models=2,
+            )
+
+        result = _assert_resume_equivalent(factory, k=11, tmp_path=tmp_path)
+        assert len(result.rows) == 6
