@@ -4,4 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+# Preflight: chaos evidence is only meaningful if the tree obeys the
+# determinism/invariant rules (docs/static-analysis.md).
+python -m repro.lint src
+
 exec python -m pytest tests/chaos -o addopts="" -q "$@"

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Full static-analysis gate (see docs/static-analysis.md):
+#
+#   1. repro.lint   — the AST determinism/invariant checker (always runs;
+#                     new findings beyond lint-baseline.json fail),
+#   2. ruff / mypy  — configured in pyproject.toml, run when installed,
+#                     skipped with a notice otherwise (the container may
+#                     not ship them),
+#   3. pytest -m lint — the subprocess self-scan excluded from tier-1.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== repro.lint =="
+python -m repro.lint src "$@"
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests
+else
+    echo "== ruff == (not installed; skipped)"
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    echo "== mypy =="
+    mypy
+else
+    echo "== mypy == (not installed; skipped)"
+fi
+
+echo "== pytest -m lint =="
+python -m pytest tests/tools -o addopts="" -m lint -q
+
+echo "lint gate passed"

@@ -11,6 +11,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== lint preflight =="
+python -m repro.lint src
+
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 

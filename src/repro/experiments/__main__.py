@@ -40,7 +40,6 @@ import argparse
 import ast
 import signal
 import sys
-import time
 
 from repro.errors import CheckpointError, ReproError, ResumeMismatchError
 from repro.experiments import (
@@ -69,6 +68,7 @@ from repro.experiments.runner import (
     EXIT_OK,
     EXIT_REPRO,
     BreakerConfig,
+    monotonic_clock,
     run_experiment,
 )
 
@@ -126,7 +126,7 @@ def run_one(
     """
     module, description = EXPERIMENTS[name]
     print(f"=== {name}: {description} ===")
-    started = time.time()
+    started = monotonic_clock()
     breaker = (
         BreakerConfig(failure_threshold=breaker_threshold)
         if breaker_threshold is not None
@@ -155,7 +155,7 @@ def run_one(
     if outcome.status == STATUS_COMPLETED:
         text = module.report(outcome.result)
         print(text)
-        print(f"({time.time() - started:.1f}s)\n")
+        print(f"({monotonic_clock() - started:.1f}s)\n")
         if outcome.run_dir is not None:
             atomic_write_text(outcome.run_dir / "report.txt", text + "\n")
             atomic_write_pickle(outcome.run_dir / "result.pkl", outcome.result)

@@ -28,7 +28,6 @@ import json
 import os
 import pickle
 import subprocess
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Mapping
@@ -168,9 +167,17 @@ class RunManifest:
     breaker_state: str = "closed"
 
     def add_segment(self, event: str) -> None:
-        """Record one process lifetime touching this run."""
+        """Record one process lifetime touching this run.
+
+        Timestamps route through the runner's injectable
+        :func:`~repro.experiments.runner.wall_clock` (imported lazily —
+        the runner imports this module at load time), so tests can stamp
+        manifests deterministically via ``override_clocks``.
+        """
+        from repro.experiments.runner import wall_clock
+
         self.segments.append(
-            {"event": event, "pid": os.getpid(), "time": time.time()}
+            {"event": event, "pid": os.getpid(), "time": wall_clock()}
         )
 
     def to_json(self) -> dict[str, Any]:

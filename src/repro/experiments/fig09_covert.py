@@ -55,7 +55,7 @@ class Fig9Result:
     def error_grows_with_rate(self) -> bool:
         """Within each primitive, the fastest window has more error than
         the slowest (the Fig. 9 trade-off)."""
-        for primitive in {p.primitive for p in self.points}:
+        for primitive in sorted({p.primitive for p in self.points}):
             series = sorted(
                 (p for p in self.points if p.primitive == primitive),
                 key=lambda p: p.raw_bps,

@@ -19,7 +19,6 @@ the next trial starts.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -113,7 +112,12 @@ def run_guarded_trials(
         raise ValueError(
             f"max_total_seconds must be positive or None, got {max_total_seconds}"
         )
-    start = time.monotonic()
+    # Lazy import: the runner owns the (injectable) host clock and
+    # imports this module at load time, so a top-level import would
+    # be circular.
+    from repro.experiments.runner import monotonic_clock
+
+    start = monotonic_clock()
     results: list[Any] = []
     failures: list[TrialFailure] = []
     bypassed: list[tuple[int, str]] = []
@@ -122,7 +126,7 @@ def run_guarded_trials(
     for index, trial in enumerate(trials):
         if (
             max_total_seconds is not None
-            and time.monotonic() - start >= max_total_seconds
+            and monotonic_clock() - start >= max_total_seconds
         ):
             skipped = len(trials) - index
             stop_reason = STOP_BUDGET
@@ -138,17 +142,17 @@ def run_guarded_trials(
             if reason:
                 bypassed.append((index, reason))
                 continue
-        trial_start = time.monotonic()
+        trial_start = monotonic_clock()
         try:
             result = trial()
         except catch as exc:
-            elapsed = time.monotonic() - trial_start
+            elapsed = monotonic_clock() - trial_start
             failure = TrialFailure(index=index, error=exc, elapsed_s=elapsed)
             failures.append(failure)
             if on_trial_end is not None:
                 on_trial_end(index, None, failure, elapsed)
         else:
-            elapsed = time.monotonic() - trial_start
+            elapsed = monotonic_clock() - trial_start
             results.append(result)
             if on_trial_end is not None:
                 on_trial_end(index, result, None, elapsed)
@@ -157,7 +161,7 @@ def run_guarded_trials(
         failures=tuple(failures),
         skipped=skipped,
         label=label,
-        elapsed_s=time.monotonic() - start,
+        elapsed_s=monotonic_clock() - start,
         stop_reason=stop_reason,
         bypassed=tuple(bypassed),
     )

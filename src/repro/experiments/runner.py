@@ -43,12 +43,13 @@ Exit codes (also used by ``python -m repro.experiments``):
 
 from __future__ import annotations
 
+import contextlib
 import enum
 import hashlib
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.errors import (
     CheckpointError,
@@ -90,6 +91,53 @@ _STATUS_EXIT = {
 STOP_DEADLINE = "deadline"
 SKIP_RESUMED = "resumed"
 SKIP_BREAKER = "breaker-open"
+
+
+# ----------------------------------------------------------------------
+# The sanctioned host clock
+# ----------------------------------------------------------------------
+# This module is the single place in ``repro`` allowed to read the host
+# clock (enforced by the DET002 lint rule): manifests, watchdogs, and
+# CLI timing all route through these two helpers, so tests can stamp
+# deterministic timestamps by overriding them.
+_wall_clock: Callable[[], float] = time.time
+_monotonic_clock: Callable[[], float] = time.monotonic
+
+
+def wall_clock() -> float:
+    """Seconds since the epoch, via the injectable host clock."""
+    return _wall_clock()
+
+
+def monotonic_clock() -> float:
+    """Monotonic seconds, via the injectable host clock."""
+    return _monotonic_clock()
+
+
+@contextlib.contextmanager
+def override_clocks(
+    wall: Callable[[], float] | None = None,
+    monotonic: Callable[[], float] | None = None,
+) -> Iterator[None]:
+    """Temporarily replace the host clocks (tests only).
+
+    Everything that stamps wall time (manifest segments, CLI timing) or
+    measures elapsed time (watchdog, trial durations) observes the
+    override, so a test can produce byte-identical manifests::
+
+        with override_clocks(wall=lambda: 0.0):
+            manifest.add_segment("start")   # {"time": 0.0, ...}
+    """
+    global _wall_clock, _monotonic_clock
+    previous = (_wall_clock, _monotonic_clock)
+    if wall is not None:
+        _wall_clock = wall
+    if monotonic is not None:
+        _monotonic_clock = monotonic
+    try:
+        yield
+    finally:
+        _wall_clock, _monotonic_clock = previous
 
 
 # ----------------------------------------------------------------------
@@ -167,7 +215,7 @@ class Watchdog:
         if budget_s is not None and budget_s <= 0:
             raise ValueError(f"deadline must be positive or None, got {budget_s}")
         self.budget_s = budget_s
-        self._start = time.monotonic()
+        self._start = monotonic_clock()
         self._longest_trial_s = 0.0
 
     def note_trial(self, elapsed_s: float) -> None:
@@ -178,7 +226,7 @@ class Watchdog:
         """A stop reason when the budget nears exhaustion, else ``None``."""
         if self.budget_s is None:
             return None
-        remaining = self.budget_s - (time.monotonic() - self._start)
+        remaining = self.budget_s - (monotonic_clock() - self._start)
         if remaining <= self._longest_trial_s:
             return STOP_DEADLINE
         return None
@@ -342,7 +390,7 @@ def run_experiment(
     continued from a previous segment.  Without it, the run is in-memory
     only — same loop, no persistence.
     """
-    started = time.monotonic()
+    started = monotonic_clock()
     journal: CheckpointJournal | None = None
     manifest: RunManifest | None = None
     resumed_results: dict[str, Any] = {}
@@ -439,7 +487,7 @@ def run_experiment(
             resumed=len(resumed_results),
             skipped=circuit.skipped + _deadline_skips,
             breaker_events=list(circuit.events),
-            elapsed_s=time.monotonic() - started,
+            elapsed_s=monotonic_clock() - started,
         )
         if manifest is not None:
             manifest.status = status

@@ -25,7 +25,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.faults.plan import FaultPlan, FaultSite, FaultSpec
+from repro.faults.sites import DEVICE_SITES, TIMELINE_SITES, coerce_site
 from repro.hw.units import us_to_cycles
 
 
@@ -87,6 +89,38 @@ class FaultInjector:
         self.events_dropped = 0
         self.fired_by_site: dict[FaultSite, int] = {}
         self.opportunities = 0
+        self._site_owners: dict[FaultSite, str] = {}
+
+    # ------------------------------------------------------------------
+    # Site registry
+    # ------------------------------------------------------------------
+    def register_site(self, site: FaultSite | str, owner: str) -> FaultSite:
+        """Claim *site* for *owner* (an attachment point's label).
+
+        Each site may be hooked at most once per injector: attaching the
+        same injector to two devices would double-evaluate every device
+        spec, silently doubling effective fault rates.  Registering an
+        already-claimed site therefore raises
+        :class:`~repro.errors.ConfigurationError` naming both owners, as
+        does an unknown site id (via
+        :func:`~repro.faults.sites.coerce_site`).
+        """
+        resolved = coerce_site(site)
+        previous = self._site_owners.get(resolved)
+        if previous is not None:
+            raise ConfigurationError(
+                f"fault site {resolved.value!r} already hooked by"
+                f" {previous}; refusing duplicate hook-up by {owner}"
+                " (one injector per device/timeline — build a fresh"
+                " FaultInjector instead)"
+            )
+        self._site_owners[resolved] = owner
+        return resolved
+
+    @property
+    def registered_sites(self) -> dict[FaultSite, str]:
+        """Hooked sites and the attachment labels that claimed them."""
+        return dict(self._site_owners)
 
     # ------------------------------------------------------------------
     # Firing
@@ -203,7 +237,14 @@ class FaultInjector:
     # Attachment (duck-typed: no imports of the model packages)
     # ------------------------------------------------------------------
     def attach_device(self, device) -> None:
-        """Hook a :class:`~repro.dsa.device.DsaDevice` and its engines/PRS."""
+        """Hook a :class:`~repro.dsa.device.DsaDevice` and its engines/PRS.
+
+        Registers every device-owned site first, so attaching one
+        injector to two devices fails loudly before any state is touched.
+        """
+        owner = f"attach_device({type(device).__name__})"
+        for site in DEVICE_SITES:
+            self.register_site(site, owner)
         device.fault_injector = self
         for engine in device.engines.values():
             engine.fault_injector = self
@@ -211,6 +252,9 @@ class FaultInjector:
 
     def attach_timeline(self, timeline) -> None:
         """Hook a :class:`~repro.virt.scheduler.Timeline` (preemption site)."""
+        owner = f"attach_timeline({type(timeline).__name__})"
+        for site in TIMELINE_SITES:
+            self.register_site(site, owner)
         timeline.fault_injector = self
 
     def attach_system(self, system) -> None:

@@ -1,0 +1,38 @@
+"""``repro.lint`` — determinism & simulation-invariant static analysis.
+
+A self-contained AST linter for the reproduction's own invariants — the
+properties a generic linter cannot know:
+
+* all randomness flows through seeded per-trial generators (**DET001**);
+* model code reads only the simulated clock (**DET002**);
+* nothing hash-ordered feeds scheduling or trial ordering (**DET003**);
+* fault-hookable device state only mutates through registered
+  :class:`~repro.faults.plan.FaultSite` hooks (**SIM001**);
+* no broad ``except`` can swallow checkpoint/dataset integrity errors
+  (**EXC001**);
+* trial keys derive from the spec, never from execution order
+  (**API001**).
+
+Run it with ``python -m repro.lint`` (see :mod:`repro.lint.__main__`),
+or drive :class:`~repro.lint.engine.LintEngine` directly from tests.
+The rule catalog, suppression policy, and baseline workflow live in
+``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.checker import Checker, FileContext, Finding
+from repro.lint.engine import Baseline, LintEngine, LintReport, run_lint
+from repro.lint.rules import ALL_CHECKERS, RULES
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Baseline",
+    "Checker",
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "RULES",
+    "run_lint",
+]

@@ -1,0 +1,165 @@
+"""Command-line entry point: ``python -m repro.lint``.
+
+Usage::
+
+    python -m repro.lint                     # lint src/ against the baseline
+    python -m repro.lint src tests/foo.py    # explicit targets
+    python -m repro.lint --format json       # machine-readable output
+    python -m repro.lint --select DET001,DET002
+    python -m repro.lint --ignore EXC001
+    python -m repro.lint --write-baseline    # grandfather current findings
+    python -m repro.lint --list-rules
+
+Exit codes: ``0`` no new findings, ``1`` findings reported, ``2`` usage
+error.  A finding already recorded in the baseline file (default
+``lint-baseline.json`` when it exists) is counted but not fatal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.engine import (
+    DEFAULT_BASELINE,
+    Baseline,
+    LintEngine,
+    LintReport,
+)
+from repro.lint.rules import RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based determinism and simulation-invariant checker for"
+            " the DSAssassin reproduction (see docs/static-analysis.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=DEFAULT_BASELINE,
+        help=f"baseline of grandfathered findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="directory paths are resolved against (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _split(raw: str | None) -> list[str] | None:
+    return [part for part in raw.split(",")] if raw else None
+
+
+def _print_text(report: LintReport) -> None:
+    for finding in report.all_findings:
+        print(finding.format_text())
+    counts = report.counts_by_rule()
+    total = sum(counts.values())
+    tail = (
+        ", ".join(f"{rule}: {count}" for rule, count in counts.items())
+        if counts
+        else "clean"
+    )
+    print(
+        f"repro.lint: {report.files_checked} files, {total} finding(s)"
+        f" ({tail}); {report.baselined} baselined,"
+        f" {report.suppressed} suppressed"
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point (returns the process exit code)."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, checker in sorted(RULES.items()):
+            print(f"{rule_id}  {checker.title}")
+        return 0
+
+    try:
+        engine = LintEngine(
+            root=args.root,
+            select=_split(args.select),
+            ignore=_split(args.ignore),
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    baseline_path = Path(args.root) / args.baseline
+    baseline = None
+    if not args.no_baseline and not args.write_baseline:
+        if baseline_path.exists():
+            try:
+                baseline = Baseline.load(baseline_path)
+            except (ValueError, json.JSONDecodeError) as exc:
+                print(f"repro.lint: {exc}", file=sys.stderr)
+                return 2
+
+    try:
+        report = engine.run(args.paths, baseline=baseline)
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+
+    if args.write_baseline:
+        Baseline.from_findings(report).save(baseline_path)
+        print(
+            f"repro.lint: wrote {len(report.findings)} finding(s) to"
+            f" {baseline_path}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        _print_text(report)
+    return 1 if report.all_findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,300 @@
+"""File discovery, suppression handling, baselines, and the lint driver.
+
+:class:`LintEngine` walks the requested paths, parses each ``*.py`` file
+once, runs every selected rule's checker over the shared AST, filters
+inline suppressions, and returns deterministically ordered findings.
+
+Suppressions
+------------
+A finding is suppressed by a comment on its own physical line::
+
+    latency = time.time()  # repro-lint: ignore[DET002]
+
+``ignore[RULE1,RULE2]`` scopes the suppression; a bare
+``# repro-lint: ignore`` suppresses every rule on that line.  Policy
+(docs/static-analysis.md): suppressions are for the rare *intentional*
+exception and must carry a justification in an adjacent comment —
+determinism rules (DET001/DET002) are fixed, not suppressed.
+
+Baselines
+---------
+A baseline file grandfathers pre-existing findings so the checker can be
+wired into CI before the backlog reaches zero.  Fingerprints hash the
+rule, file, and normalized source line (plus an occurrence counter for
+duplicates) — **not** the line number — so unrelated edits do not churn
+the baseline.  ``python -m repro.lint --write-baseline`` regenerates it;
+the committed ``lint-baseline.json`` is empty because every real finding
+was fixed at the source.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.checker import Checker, FileContext, Finding
+from repro.lint.rules import ALL_CHECKERS, RULES
+
+#: Baseline schema version, bumped on incompatible change.
+BASELINE_VERSION = 1
+
+#: Default baseline filename, resolved against the working directory.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+def suppressed_rules(line: str) -> frozenset[str] | None:
+    """Rules suppressed on *line*: a set of ids, ``frozenset()`` for an
+    unscoped ``ignore`` (suppress everything), or ``None`` for no
+    directive."""
+    match = _SUPPRESS_RE.search(line)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if rules is None:
+        return frozenset()
+    return frozenset(
+        rule.strip().upper() for rule in rules.split(",") if rule.strip()
+    )
+
+
+def fingerprint(finding: Finding, source_line: str, occurrence: int) -> str:
+    """Line-number-independent identity of one finding."""
+    payload = "|".join(
+        [finding.rule, finding.path, source_line.strip(), str(occurrence)]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Baseline:
+    """Grandfathered findings, addressed by fingerprint."""
+
+    fingerprints: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file (raises ``ValueError`` when malformed)."""
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline format in {path}; regenerate with"
+                " --write-baseline"
+            )
+        findings = raw.get("findings", {})
+        if not isinstance(findings, dict):
+            raise ValueError(f"baseline {path} has a malformed findings map")
+        return cls(fingerprints=dict(findings))
+
+    def save(self, path: str | Path) -> None:
+        """Write the baseline (sorted keys, stable bytes)."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": dict(sorted(self.fingerprints.items())),
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def from_findings(
+        cls, report: "LintReport"
+    ) -> "Baseline":
+        """A baseline that grandfathers every finding in *report*."""
+        baseline = cls()
+        for finding, print_ in report.fingerprinted():
+            baseline.fingerprints[print_] = {
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+            }
+        return baseline
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: int = 0
+    suppressed: int = 0
+    files_checked: int = 0
+    parse_errors: list[Finding] = field(default_factory=list)
+    #: ``(finding, fingerprint)`` pairs, parallel to :attr:`findings`.
+    _fingerprints: list[str] = field(default_factory=list)
+
+    def fingerprinted(self) -> list[tuple[Finding, str]]:
+        """Findings with their baseline fingerprints."""
+        return list(zip(self.findings, self._fingerprints))
+
+    @property
+    def all_findings(self) -> list[Finding]:
+        """Rule findings plus parse errors, in location order."""
+        return sorted(self.findings + self.parse_errors)
+
+    def counts_by_rule(self) -> dict[str, int]:
+        """``{rule: finding count}`` including parse errors."""
+        counts: dict[str, int] = {}
+        for finding in self.all_findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_json(self) -> dict[str, object]:
+        """The ``--format json`` document."""
+        return {
+            "findings": [f.to_json() for f in self.all_findings],
+            "counts": self.counts_by_rule(),
+            "files_checked": self.files_checked,
+            "baselined": self.baselined,
+            "suppressed": self.suppressed,
+        }
+
+
+class LintEngine:
+    """One configured lint run: selected rules, root, baseline."""
+
+    def __init__(
+        self,
+        root: str | Path = ".",
+        select: Sequence[str] | None = None,
+        ignore: Sequence[str] | None = None,
+        checkers: Sequence[type[Checker]] | None = None,
+    ) -> None:
+        self.root = Path(root).resolve()
+        available = list(checkers) if checkers is not None else list(ALL_CHECKERS)
+        chosen = {c.rule for c in available}
+        if select:
+            wanted = _validate_rules(select)
+            chosen &= wanted
+        if ignore:
+            chosen -= _validate_rules(ignore)
+        self.checkers: tuple[type[Checker], ...] = tuple(
+            c for c in available if c.rule in chosen
+        )
+
+    # -- discovery ------------------------------------------------------
+    def discover(self, paths: Iterable[str | Path]) -> list[Path]:
+        """All ``*.py`` files under *paths*, sorted, de-duplicated."""
+        seen: dict[Path, None] = {}
+        for raw in paths:
+            path = (self.root / raw).resolve() if not Path(raw).is_absolute() else Path(raw)
+            if path.is_dir():
+                for candidate in sorted(path.rglob("*.py")):
+                    seen.setdefault(candidate, None)
+            elif path.suffix == ".py":
+                seen.setdefault(path, None)
+            else:
+                raise FileNotFoundError(f"no such file or directory: {raw}")
+        return sorted(seen)
+
+    def _relpath(self, path: Path) -> str:
+        try:
+            return path.relative_to(self.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    @staticmethod
+    def module_name(path: Path) -> str:
+        """Dotted module of *path*, anchored at the ``repro`` package."""
+        parts = list(path.with_suffix("").parts)
+        if parts and parts[-1] == "__init__":
+            parts.pop()
+        if "repro" not in parts:
+            return ""
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        return ".".join(parts[anchor:])
+
+    # -- linting --------------------------------------------------------
+    def lint_file(self, path: Path) -> tuple[list[Finding], FileContext | None]:
+        """Raw findings of one file (suppressions not yet applied)."""
+        rel = self._relpath(path)
+        try:
+            ctx = FileContext.parse(path, rel, self.module_name(path))
+        except SyntaxError as exc:
+            return (
+                [
+                    Finding(
+                        path=rel,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1),
+                        rule="SYN000",
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                ],
+                None,
+            )
+        findings: list[Finding] = []
+        for checker_cls in self.checkers:
+            if checker_cls.interested(ctx):
+                findings.extend(checker_cls(ctx).run())
+        return findings, ctx
+
+    def run(
+        self,
+        paths: Iterable[str | Path],
+        baseline: Baseline | None = None,
+    ) -> LintReport:
+        """Lint *paths*, apply suppressions and *baseline*, and report."""
+        report = LintReport()
+        occurrences: dict[str, int] = {}
+        for path in self.discover(paths):
+            raw, ctx = self.lint_file(path)
+            report.files_checked += 1
+            if ctx is None:
+                report.parse_errors.extend(raw)
+                continue
+            for finding in sorted(raw):
+                line_text = (
+                    ctx.lines[finding.line - 1]
+                    if 0 < finding.line <= len(ctx.lines)
+                    else ""
+                )
+                suppressed = suppressed_rules(line_text)
+                if suppressed is not None and (
+                    not suppressed or finding.rule in suppressed
+                ):
+                    report.suppressed += 1
+                    continue
+                key = f"{finding.rule}|{finding.path}|{line_text.strip()}"
+                occurrences[key] = occurrences.get(key, 0) + 1
+                print_ = fingerprint(finding, line_text, occurrences[key])
+                if baseline is not None and print_ in baseline.fingerprints:
+                    report.baselined += 1
+                    continue
+                report.findings.append(finding)
+                report._fingerprints.append(print_)
+        return report
+
+
+def _validate_rules(rules: Sequence[str]) -> set[str]:
+    normalized = {rule.strip().upper() for rule in rules if rule.strip()}
+    unknown = normalized - set(RULES)
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))};"
+            f" available: {', '.join(sorted(RULES))}"
+        )
+    return normalized
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    root: str | Path = ".",
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+    baseline_path: str | Path | None = None,
+) -> LintReport:
+    """Convenience wrapper: configure an engine, load a baseline, run."""
+    engine = LintEngine(root=root, select=select, ignore=ignore)
+    baseline = None
+    if baseline_path is not None and Path(baseline_path).exists():
+        baseline = Baseline.load(baseline_path)
+    return engine.run(paths, baseline=baseline)

@@ -1,0 +1,43 @@
+"""The rule catalog: one module per rule, stable ids.
+
+Adding a rule means adding a module here, registering its checker in
+:data:`ALL_CHECKERS`, documenting it in ``docs/static-analysis.md``, and
+shipping positive/negative fixtures under
+``tests/tools/lint_fixtures/``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.checker import Checker
+from repro.lint.rules.api001_trial_keys import TrialKeyChecker
+from repro.lint.rules.det001_rng import UnseededRngChecker
+from repro.lint.rules.det002_wallclock import WallClockChecker
+from repro.lint.rules.det003_ordering import OrderingChecker
+from repro.lint.rules.exc001_broad_except import BroadExceptChecker
+from repro.lint.rules.sim001_fault_sites import FaultSiteChecker
+
+#: Every registered checker, in rule-id order.
+ALL_CHECKERS: tuple[type[Checker], ...] = (
+    TrialKeyChecker,
+    UnseededRngChecker,
+    WallClockChecker,
+    OrderingChecker,
+    BroadExceptChecker,
+    FaultSiteChecker,
+)
+
+#: rule id -> checker class.
+RULES: dict[str, type[Checker]] = {
+    checker.rule: checker for checker in ALL_CHECKERS
+}
+
+__all__ = [
+    "ALL_CHECKERS",
+    "RULES",
+    "BroadExceptChecker",
+    "FaultSiteChecker",
+    "OrderingChecker",
+    "TrialKeyChecker",
+    "UnseededRngChecker",
+    "WallClockChecker",
+]

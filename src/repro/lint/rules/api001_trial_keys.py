@@ -1,0 +1,143 @@
+"""API001 — trial keys derived from execution order, not from the spec.
+
+The resume guarantee (PR 2) hangs on one property of every
+``trial_plan()``: a :class:`~repro.experiments.runner.TrialSpec` key
+must identify *what the trial is*, never *when it ran*.  The journal is
+addressed by key, and :func:`~repro.experiments.runner.spawn_trial_seed`
+derives the trial RNG from it — a key built from an execution-order
+counter makes a resumed run (or a plan built with a different filter)
+journal the same work under a different name, silently re-running or
+mis-splicing trials.
+
+Flagged key expressions (keyword ``key=`` or first positional argument
+of a ``TrialSpec(...)`` call) are those that reference:
+
+* the index variable of an ``enumerate(...)`` loop,
+* a counter mutated with ``+=`` (or any augmented assignment),
+* ``next(...)`` on anything (e.g. ``itertools.count``),
+* ``len(acc)`` where ``acc`` is the list the plan appends specs to.
+
+Keys spelled from the spec's own values — site names, window sizes,
+``range()`` loop variables — are order-independent and pass.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.checker import Checker, FileContext, dotted_parts
+
+
+def _enumerate_index_names(func: ast.AST) -> set[str]:
+    """First-element targets of ``for i, ... in enumerate(...)`` loops."""
+    names: set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, (ast.For, ast.AsyncFor, ast.comprehension)):
+            continue
+        iter_expr = node.iter
+        if not (
+            isinstance(iter_expr, ast.Call)
+            and dotted_parts(iter_expr.func) == ["enumerate"]
+        ):
+            continue
+        target = node.target
+        if isinstance(target, ast.Tuple) and target.elts:
+            target = target.elts[0]
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+    return names
+
+
+def _aug_assigned_names(func: ast.AST) -> set[str]:
+    return {
+        node.target.id
+        for node in ast.walk(func)
+        if isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name)
+    }
+
+
+def _accumulator_names(func: ast.AST) -> set[str]:
+    """Names that ``.append(...)``/``.extend(...)`` a ``TrialSpec``."""
+    names: set[str] = set()
+    for node in ast.walk(func):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("append", "extend")
+            and isinstance(node.func.value, ast.Name)
+        ):
+            continue
+        names.add(node.func.value.id)
+    return names
+
+
+class TrialKeyChecker(Checker):
+    """Flags order-dependent ``TrialSpec`` keys in experiment modules."""
+
+    rule = "API001"
+    title = "trial key derived from execution order"
+
+    @classmethod
+    def interested(cls, ctx: FileContext) -> bool:
+        return (
+            ctx.in_package("repro.experiments")
+            or ctx.module == ""
+        )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        # No generic_visit: _check_function already walked nested defs.
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def _check_function(self, func: ast.AST) -> None:
+        ordered = _enumerate_index_names(func) | _aug_assigned_names(func)
+        accumulators = _accumulator_names(func)
+        for node in ast.walk(func):
+            if not (
+                isinstance(node, ast.Call)
+                and dotted_parts(node.func)[-1:] == ["TrialSpec"]
+            ):
+                continue
+            key_expr = self._key_expression(node)
+            if key_expr is None:
+                continue
+            reason = self._order_dependence(key_expr, ordered, accumulators)
+            if reason is not None:
+                self.report(
+                    key_expr,
+                    f"TrialSpec key depends on {reason}; derive keys from"
+                    " the spec's own values (site name, window, range"
+                    " index) so resumed plans address the same trials",
+                )
+
+    @staticmethod
+    def _key_expression(node: ast.Call) -> ast.expr | None:
+        for keyword in node.keywords:
+            if keyword.arg == "key":
+                return keyword.value
+        if node.args:
+            return node.args[0]
+        return None
+
+    @staticmethod
+    def _order_dependence(
+        key_expr: ast.expr, ordered: set[str], accumulators: set[str]
+    ) -> str | None:
+        for node in ast.walk(key_expr):
+            if isinstance(node, ast.Name) and node.id in ordered:
+                return f"the execution-order counter `{node.id}`"
+            if isinstance(node, ast.Call):
+                parts = dotted_parts(node.func)
+                if parts == ["next"]:
+                    return "a `next(...)` counter"
+                if (
+                    parts == ["len"]
+                    and node.args
+                    and isinstance(node.args[0], ast.Name)
+                    and node.args[0].id in accumulators
+                ):
+                    return (
+                        f"`len({node.args[0].id})` of the spec accumulator"
+                    )
+        return None

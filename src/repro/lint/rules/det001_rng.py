@@ -1,0 +1,161 @@
+"""DET001 — unseeded or global RNG use.
+
+Every figure in the reproduction regenerates bit-for-bit from a seed,
+which holds only if *all* randomness flows through per-trial generators
+spawned from that seed (:func:`repro.experiments.runner.spawn_trial_seed`
+→ ``numpy.random.default_rng``).  Three bug classes break it:
+
+* the stdlib **global** RNG (``random.random()`` and friends) — shared,
+  hidden state that any import can perturb;
+* **legacy numpy** global functions (``np.random.rand`` etc.) and
+  ``RandomState`` — the same problem with a bigger API surface;
+* **unseeded constructors** (``random.Random()``,
+  ``np.random.default_rng()``, ``np.random.SeedSequence()`` with no
+  arguments) — OS entropy, different every run — plus module-level
+  ``random.Random(...)`` instances, whose draw order depends on import
+  order rather than on the trial that uses them.
+
+The fix is never a suppression: thread a seeded
+``numpy.random.Generator`` (or a seed) through the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.checker import Checker, FileContext
+
+#: stdlib ``random`` module-level functions (the hidden global RNG).
+_STDLIB_GLOBAL = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "expovariate",
+        "betavariate",
+        "gammavariate",
+        "paretovariate",
+        "weibullvariate",
+        "vonmisesvariate",
+        "getrandbits",
+        "seed",
+    }
+)
+
+#: legacy ``numpy.random`` module-level functions (global RandomState).
+_NUMPY_LEGACY = frozenset(
+    {
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "seed",
+        "choice",
+        "shuffle",
+        "permutation",
+        "bytes",
+        "normal",
+        "uniform",
+        "standard_normal",
+        "binomial",
+        "poisson",
+        "exponential",
+        "beta",
+        "gamma",
+        "geometric",
+        "get_state",
+        "set_state",
+    }
+)
+
+#: Constructors that must receive an explicit seed argument.
+_NEED_SEED = frozenset(
+    {"numpy.random.default_rng", "numpy.random.SeedSequence", "random.Random"}
+)
+
+
+class UnseededRngChecker(Checker):
+    """Flags global/unseeded RNG use anywhere under ``repro``."""
+
+    rule = "DET001"
+    title = "unseeded or global RNG use"
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._function_depth = 0
+
+    @classmethod
+    def interested(cls, ctx: FileContext) -> bool:
+        return ctx.in_repro or ctx.module == ""
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function_depth += 1
+        self.generic_visit(node)
+        self._function_depth -= 1
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        origin = self.resolve_call(node)
+        if origin is not None:
+            self._check_origin(node, origin)
+        self.generic_visit(node)
+
+    def _check_origin(self, node: ast.Call, origin: str) -> None:
+        parts = origin.split(".")
+        if origin.startswith("secrets."):
+            self.report(
+                node, f"`{origin}` draws OS entropy; derive from the trial seed"
+            )
+        elif parts[0] == "random" and len(parts) == 2:
+            if parts[1] in _STDLIB_GLOBAL:
+                self.report(
+                    node,
+                    f"stdlib global RNG `{origin}()`; use a seeded"
+                    " numpy Generator threaded from the trial seed",
+                )
+            elif parts[1] == "Random":
+                self._check_constructor(node, origin)
+        elif origin.startswith("numpy.random."):
+            tail = parts[-1]
+            if len(parts) == 3 and tail in _NUMPY_LEGACY:
+                self.report(
+                    node,
+                    f"legacy numpy global RNG `{origin}()`; use"
+                    " `numpy.random.default_rng(seed)`",
+                )
+            elif tail == "RandomState":
+                self.report(
+                    node,
+                    "`numpy.random.RandomState` is the legacy global-state"
+                    " API; use `numpy.random.default_rng(seed)`",
+                )
+            elif origin in _NEED_SEED:
+                self._check_constructor(node, origin)
+
+    def _check_constructor(self, node: ast.Call, origin: str) -> None:
+        if not node.args and not node.keywords:
+            self.report(
+                node,
+                f"`{origin}()` without a seed draws OS entropy;"
+                " pass a seed derived from the trial key",
+            )
+        elif origin == "random.Random" and self._function_depth == 0:
+            self.report(
+                node,
+                "module-level `random.Random(...)` makes draw order depend"
+                " on import order; construct per-trial generators instead",
+            )

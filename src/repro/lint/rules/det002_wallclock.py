@@ -1,0 +1,73 @@
+"""DET002 — host wall-clock reads outside the sanctioned module.
+
+The model's only notion of time is the simulated TSC
+(:class:`repro.hw.clock.TscClock`): DevTLB hit/miss thresholds,
+``EFLAGS.ZF`` polling and every latency histogram are functions of
+*simulated* cycles.  A single ``time.time()`` in model code couples the
+artifact to host scheduling jitter and silently breaks the
+resume-equals-uninterrupted guarantee.
+
+The orchestration layer legitimately needs the host clock (watchdog
+deadlines, manifest timestamps, CLI timing) — but all of it routes
+through :func:`repro.experiments.runner.wall_clock` /
+:func:`repro.experiments.runner.monotonic_clock`, which are injectable
+in tests.  ``repro.experiments.runner`` is therefore the *only* module
+allowed to touch :mod:`time` directly.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.checker import WALL_CLOCK_ALLOWLIST, Checker, FileContext
+
+#: Calls that observe the host clock or host entropy.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+
+class WallClockChecker(Checker):
+    """Flags host-clock reads in every ``repro`` module but the runner."""
+
+    rule = "DET002"
+    title = "wall-clock read outside repro.experiments.runner"
+
+    @classmethod
+    def interested(cls, ctx: FileContext) -> bool:
+        if ctx.module in WALL_CLOCK_ALLOWLIST:
+            return False
+        return ctx.in_repro or ctx.module == ""
+
+    def visit_Call(self, node: ast.Call) -> None:
+        origin = self.resolve_call(node)
+        if origin in _WALL_CLOCK_CALLS:
+            if self.ctx.in_model_package:
+                hint = "model code must read the simulated TscClock"
+            else:
+                hint = (
+                    "route through repro.experiments.runner.wall_clock()/"
+                    "monotonic_clock() so tests can inject time"
+                )
+            self.report(node, f"host clock read `{origin}()`; {hint}")
+        self.generic_visit(node)

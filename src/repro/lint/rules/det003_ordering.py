@@ -1,0 +1,168 @@
+"""DET003 — hash-ordered iteration feeding ordered computation.
+
+Iterating a ``set`` yields elements in hash order, which for strings
+varies with ``PYTHONHASHSEED`` — two runs of the *same seed* can visit
+elements differently.  Anywhere such an iteration feeds event
+scheduling, queue arbitration, or trial ordering, the artifact stops
+being a pure function of the configuration.  ``dict`` iteration is
+insertion-ordered and therefore deterministic *per se*, but a
+``.values()``/``.keys()`` loop that schedules work inherits whatever
+order built the dict — so those are flagged only when the loop body
+reaches a scheduling/arbitration sink.
+
+The fix is one word: ``sorted(...)`` (with an explicit ``key=`` for
+non-comparable elements).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.checker import Checker, FileContext, dotted_parts
+
+#: Callables that order-sensitively consume work inside a loop body.
+_SCHEDULING_SINKS = frozenset(
+    {
+        "schedule_at",
+        "schedule_after",
+        "schedule_after_us",
+        "heappush",
+        "submit",
+        "submit_wait",
+        "try_enqueue",
+        "TrialSpec",
+    }
+)
+
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+
+
+def _set_constructor_names(body: list[ast.stmt]) -> set[str]:
+    """Names assigned a set expression anywhere in *body* (approximate,
+    one scope, no reassignment tracking)."""
+    names: set[str] = set()
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign) and _is_set_expr(node.value, ()):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and node.value is not None
+                and isinstance(node.target, ast.Name)
+                and _is_set_expr(node.value, ())
+            ):
+                names.add(node.target.id)
+    return names
+
+
+def _is_set_expr(node: ast.expr, set_names: tuple[str, ...] | set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        parts = dotted_parts(node.func)
+        if parts in (["set"], ["frozenset"]):
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SET_METHODS
+        ):
+            return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    return False
+
+
+def _is_mapping_view(node: ast.expr) -> str | None:
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("values", "keys")
+        and not node.args
+        and not node.keywords
+    ):
+        return node.func.attr
+    return None
+
+
+def _body_hits_sink(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = dotted_parts(node.func)
+            if parts and parts[-1] in _SCHEDULING_SINKS:
+                return True
+    return False
+
+
+class OrderingChecker(Checker):
+    """Flags unsorted set iteration (and order-sinking dict views)."""
+
+    rule = "DET003"
+    title = "hash-ordered iteration without sorted()"
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._scopes: list[set[str]] = [_set_constructor_names(ctx.tree.body)]
+
+    @classmethod
+    def interested(cls, ctx: FileContext) -> bool:
+        return ctx.in_repro or ctx.module == ""
+
+    @property
+    def _set_names(self) -> set[str]:
+        return self._scopes[-1]
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._scopes.append(
+            self._set_names | _set_constructor_names(node.body)
+        )
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter, node.body)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iterable(node.iter, node.body)
+        self.generic_visit(node)
+
+    def _visit_comprehension_like(self, node: ast.expr) -> None:
+        for comp in getattr(node, "generators", []):
+            # Comprehension bodies cannot schedule, so only bare set
+            # iteration is a hazard here.
+            if _is_set_expr(comp.iter, self._set_names):
+                self._report_set(comp.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension_like
+    visit_SetComp = _visit_comprehension_like
+    visit_DictComp = _visit_comprehension_like
+    visit_GeneratorExp = _visit_comprehension_like
+
+    def _check_iterable(self, iterable: ast.expr, body: list[ast.stmt]) -> None:
+        if _is_set_expr(iterable, self._set_names):
+            self._report_set(iterable)
+            return
+        view = _is_mapping_view(iterable)
+        if view is not None and _body_hits_sink(body):
+            self.report(
+                iterable,
+                f"iteration over `.{view}()` feeds a scheduling/arbitration"
+                " sink; wrap the view in sorted(...) so event order is a"
+                " function of the spec, not of dict construction",
+            )
+
+    def _report_set(self, node: ast.expr) -> None:
+        self.report(
+            node,
+            "iteration over a set is hash-ordered (varies with"
+            " PYTHONHASHSEED); wrap it in sorted(...)",
+        )

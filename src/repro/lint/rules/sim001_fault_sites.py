@@ -1,0 +1,141 @@
+"""SIM001 — fault-hookable device state mutated outside its site owner.
+
+The chaos suite (PR 1) is only sound if every way the simulated device
+can break routes through a registered
+:class:`~repro.faults.plan.FaultSite`: the injector's log is the ground
+truth chaos assertions compare against, and
+:meth:`~repro.faults.injector.FaultInjector.register_site` guarantees
+each site has exactly one runtime owner.  This rule enforces the static
+half of that contract, using the same authoritative map
+(:data:`repro.faults.sites.SITE_OWNERS`):
+
+* ``injector.fire(FaultSite.X, ...)`` from a module that does not own
+  site ``X`` — a second, unregistered hook point whose effects the
+  registry (and the log consumers) cannot account for;
+* ``fire()`` with an unknown site name — a typo that would raise (or
+  silently never fire) at runtime;
+* assignment to a ``fault_injector`` attribute outside
+  ``repro.faults`` — hooking up by hand bypasses site registration, the
+  exact silently-last-wins bug the registry exists to prevent (the
+  ``self.fault_injector = None`` declaration idiom is allowed);
+* direct calls to fault-effect mutators (e.g. ``invalidate_all``) from
+  modules that neither define them nor own the corresponding site.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.faults.plan import FaultSite
+from repro.faults.sites import SITE_OWNERS, STATE_MUTATOR_OWNERS
+from repro.lint.checker import Checker, FileContext, dotted_parts
+
+_SITE_OWNER_MODULES = {
+    site.name: owners for site, owners in SITE_OWNERS.items()
+}
+_KNOWN_SITE_VALUES = {site.value: site.name for site in FaultSite}
+
+
+class FaultSiteChecker(Checker):
+    """Enforces the :data:`~repro.faults.sites.SITE_OWNERS` contract."""
+
+    rule = "SIM001"
+    title = "fault-hookable state mutated outside its site owner"
+
+    @classmethod
+    def interested(cls, ctx: FileContext) -> bool:
+        if ctx.in_package("repro.faults", "repro.lint"):
+            return False
+        return ctx.in_repro or ctx.module == ""
+
+    # -- fire() ownership ----------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_fire(node)
+        self._check_mutator(node)
+        self.generic_visit(node)
+
+    def _check_fire(self, node: ast.Call) -> None:
+        parts = dotted_parts(node.func)
+        if not parts or parts[-1] != "fire":
+            return
+        site_name = self._site_argument(node)
+        if site_name is None:
+            return
+        owners = _SITE_OWNER_MODULES.get(site_name)
+        if owners is None:
+            self.report(
+                node,
+                f"fire() on unknown fault site `{site_name}`; sites are"
+                " declared in repro.faults.plan.FaultSite and owned in"
+                " repro.faults.sites.SITE_OWNERS",
+            )
+        elif self.ctx.module and self.ctx.module not in owners:
+            self.report(
+                node,
+                f"module `{self.ctx.module}` fires FaultSite.{site_name}"
+                f" but its registered owner is {', '.join(owners)};"
+                " hook the site in its owner or extend SITE_OWNERS",
+            )
+
+    def _site_argument(self, node: ast.Call) -> str | None:
+        """The ``FaultSite.X`` member name of fire()'s site argument."""
+        site_expr: ast.expr | None = None
+        if node.args:
+            site_expr = node.args[0]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "site":
+                    site_expr = keyword.value
+        if site_expr is None:
+            return None
+        parts = dotted_parts(site_expr)
+        if len(parts) >= 2 and parts[-2] == "FaultSite":
+            return parts[-1]
+        if isinstance(site_expr, ast.Constant) and isinstance(
+            site_expr.value, str
+        ):
+            return _KNOWN_SITE_VALUES.get(site_expr.value, site_expr.value)
+        return None
+
+    # -- fault-effect mutators -----------------------------------------
+    def _check_mutator(self, node: ast.Call) -> None:
+        if not isinstance(node.func, ast.Attribute):
+            return
+        owners = STATE_MUTATOR_OWNERS.get(node.func.attr)
+        if owners is None:
+            return
+        if self.ctx.module and self.ctx.module not in owners:
+            self.report(
+                node,
+                f"direct call to fault-effect mutator `{node.func.attr}()`"
+                f" outside its owners ({', '.join(owners)}); route the"
+                " effect through the owning FaultSite hook",
+            )
+
+    # -- fault_injector attachment -------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_injector_target(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_injector_target(node.target, node.value)
+        self.generic_visit(node)
+
+    def _check_injector_target(
+        self, target: ast.expr, value: ast.expr
+    ) -> None:
+        if not (
+            isinstance(target, ast.Attribute)
+            and target.attr == "fault_injector"
+        ):
+            return
+        if isinstance(value, ast.Constant) and value.value is None:
+            return  # the `self.fault_injector = None` declaration idiom
+        self.report(
+            target,
+            "direct `fault_injector` attachment bypasses site registration"
+            " (silently last-wins); use FaultInjector.attach_device/"
+            "attach_timeline/attach_system",
+        )

@@ -1,0 +1,120 @@
+"""The injector's fault-site registry: loud failure on double hook-up.
+
+Before the registry, ``attach_device`` silently re-pointed
+``fault_injector`` attributes — attaching one injector to two devices
+double-evaluated every device spec (doubling effective fault rates)
+with no trace in the log.  Now each site has exactly one owner per
+injector and a duplicate or unknown site id raises
+:class:`~repro.errors.ConfigurationError` before any state changes.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultInjector, FaultPlan, FaultSite
+from repro.faults.sites import (
+    DEVICE_SITES,
+    SITE_OWNERS,
+    TIMELINE_SITES,
+    coerce_site,
+)
+
+
+class FakePrs:
+    fault_injector = None
+
+
+class FakeEngine:
+    fault_injector = None
+
+
+class FakeDevice:
+    def __init__(self) -> None:
+        self.engines = {0: FakeEngine()}
+        self.prs = FakePrs()
+        self.fault_injector = None
+
+
+class FakeTimeline:
+    fault_injector = None
+
+
+def make_injector() -> FaultInjector:
+    return FaultInjector(FaultPlan(seed=1))
+
+
+class TestSiteMap:
+    def test_every_site_has_an_owner(self):
+        assert set(SITE_OWNERS) == set(FaultSite)
+
+    def test_device_and_timeline_sites_partition_the_enum(self):
+        assert set(DEVICE_SITES) | set(TIMELINE_SITES) == set(FaultSite)
+        assert not set(DEVICE_SITES) & set(TIMELINE_SITES)
+
+    def test_coerce_site_accepts_enum_and_value(self):
+        assert coerce_site(FaultSite.PRS_DROP) is FaultSite.PRS_DROP
+        assert coerce_site("prs_drop") is FaultSite.PRS_DROP
+
+    def test_coerce_site_rejects_unknown_id(self):
+        with pytest.raises(ConfigurationError, match="valid sites"):
+            coerce_site("prs_dorp")
+
+
+class TestRegistry:
+    def test_attach_device_registers_every_device_site(self):
+        injector = make_injector()
+        device = FakeDevice()
+        injector.attach_device(device)
+        assert set(injector.registered_sites) == set(DEVICE_SITES)
+        assert device.fault_injector is injector
+        assert device.engines[0].fault_injector is injector
+        assert device.prs.fault_injector is injector
+
+    def test_attach_timeline_registers_preemption(self):
+        injector = make_injector()
+        injector.attach_timeline(FakeTimeline())
+        assert set(injector.registered_sites) == set(TIMELINE_SITES)
+
+    def test_device_plus_timeline_on_one_injector_is_fine(self):
+        injector = make_injector()
+        injector.attach_device(FakeDevice())
+        injector.attach_timeline(FakeTimeline())
+        assert set(injector.registered_sites) == set(FaultSite)
+
+    def test_double_device_attach_raises(self):
+        injector = make_injector()
+        injector.attach_device(FakeDevice())
+        with pytest.raises(ConfigurationError, match="already hooked"):
+            injector.attach_device(FakeDevice())
+
+    def test_double_timeline_attach_raises(self):
+        injector = make_injector()
+        injector.attach_timeline(FakeTimeline())
+        with pytest.raises(ConfigurationError, match="already hooked"):
+            injector.attach_timeline(FakeTimeline())
+
+    def test_duplicate_attach_fails_before_touching_second_device(self):
+        injector = make_injector()
+        injector.attach_device(FakeDevice())
+        second = FakeDevice()
+        with pytest.raises(ConfigurationError):
+            injector.attach_device(second)
+        assert second.fault_injector is None
+        assert second.engines[0].fault_injector is None
+
+    def test_register_site_rejects_unknown_id(self):
+        with pytest.raises(ConfigurationError, match="valid sites"):
+            make_injector().register_site("not_a_site", "test")
+
+    def test_register_site_accepts_string_value(self):
+        injector = make_injector()
+        assert (
+            injector.register_site("preemption", "test")
+            is FaultSite.PREEMPTION
+        )
+
+    def test_error_names_both_owners(self):
+        injector = make_injector()
+        injector.register_site(FaultSite.WQ_DRAIN, "attach_device(A)")
+        with pytest.raises(ConfigurationError, match=r"attach_device\(A\)"):
+            injector.register_site(FaultSite.WQ_DRAIN, "attach_device(B)")

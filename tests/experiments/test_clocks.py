@@ -1,0 +1,95 @@
+"""The injectable host clocks (`wall_clock`/`monotonic_clock`).
+
+Every host-time read outside :mod:`repro.experiments.runner` routes
+through these helpers (enforced statically by the DET002 lint rule), so
+overriding them here controls *all* orchestration timing: manifest
+timestamps, watchdog deadlines, and guarded-trial budgets become
+deterministic under test.
+"""
+
+import time
+
+from repro.experiments.checkpoint import RunManifest
+from repro.experiments.guard import STOP_BUDGET, run_guarded_trials
+from repro.experiments.runner import (
+    Watchdog,
+    monotonic_clock,
+    override_clocks,
+    wall_clock,
+)
+
+
+class FakeClock:
+    """A hand-cranked clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestClockHelpers:
+    def test_defaults_track_host_clocks(self):
+        assert abs(wall_clock() - time.time()) < 5.0
+        assert abs(monotonic_clock() - time.monotonic()) < 5.0
+
+    def test_override_and_restore(self):
+        with override_clocks(wall=lambda: 123.0, monotonic=lambda: 7.0):
+            assert wall_clock() == 123.0
+            assert monotonic_clock() == 7.0
+        assert wall_clock() != 123.0
+
+    def test_override_restores_after_exception(self):
+        try:
+            with override_clocks(wall=lambda: 1.0):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert abs(wall_clock() - time.time()) < 5.0
+
+    def test_partial_override_leaves_other_clock(self):
+        with override_clocks(monotonic=lambda: 9.0):
+            assert monotonic_clock() == 9.0
+            assert abs(wall_clock() - time.time()) < 5.0
+
+
+class TestDeterministicStamping:
+    def test_manifest_segments_stamp_via_wall_clock(self):
+        manifest = RunManifest(
+            experiment="fig04", seed=7, config={}, config_hash="x"
+        )
+        clock = FakeClock(start=1_000.0)
+        with override_clocks(wall=clock):
+            manifest.add_segment("start")
+            clock.advance(5.0)
+            manifest.add_segment("resume")
+        assert [s["time"] for s in manifest.segments] == [1000.0, 1005.0]
+
+    def test_watchdog_reads_monotonic_clock(self):
+        clock = FakeClock()
+        with override_clocks(monotonic=clock):
+            dog = Watchdog(budget_s=10.0)
+            dog.note_trial(3.0)
+            assert dog.check() is None
+            clock.advance(8.0)  # 2s left < longest trial (3s): won't fit
+            assert dog.check() is not None
+
+    def test_guarded_trials_budget_uses_monotonic_clock(self):
+        clock = FakeClock()
+
+        def trial():
+            clock.advance(4.0)
+            return "ok"
+
+        with override_clocks(monotonic=clock):
+            run = run_guarded_trials(
+                [trial] * 5, max_total_seconds=10.0, min_successes=1
+            )
+        assert run.stop_reason == STOP_BUDGET
+        assert len(run.results) == 3  # 0s, 4s, 8s elapsed at trial starts
+        assert run.skipped == 2
+        assert run.elapsed_s == 12.0

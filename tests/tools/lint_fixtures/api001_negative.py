@@ -1,0 +1,30 @@
+# repro-lint-fixture-module: repro.experiments.fixture_api001_ok
+"""API001 negative fixture: keys spelled from the spec's own values."""
+
+from repro.experiments.runner import TrialSpec
+
+
+def keys_from_spec_values(sites, windows):
+    specs = []
+    for site in sites:
+        for window in windows:
+            specs.append(
+                TrialSpec(key=f"{site}/w{window:g}", run=lambda: None)
+            )
+    return specs
+
+
+def keys_from_range(runs: int):
+    # range() indices are part of the spec, not of execution order.
+    return [
+        TrialSpec(key=f"run-{r}", run=lambda: None) for r in range(runs)
+    ]
+
+
+def enumerate_used_only_for_labels(sites):
+    specs = []
+    for index, site in enumerate(sites):
+        label = f"#{index}"
+        print(label)
+        specs.append(TrialSpec(key=f"site/{site}", run=lambda: None))
+    return specs

@@ -1,0 +1,36 @@
+# repro-lint-fixture-module: repro.experiments.fixture_api001
+"""API001 positive fixture: trial keys derived from execution order."""
+
+import itertools
+
+from repro.experiments.runner import TrialSpec
+
+
+def keys_from_enumerate(windows):
+    specs = []
+    for index, window in enumerate(windows):
+        specs.append(TrialSpec(key=f"trial-{index}", run=lambda: window))
+    return specs
+
+
+def keys_from_counter(windows):
+    specs = []
+    count = 0
+    for window in windows:
+        count += 1
+        specs.append(TrialSpec(key=f"t{count}", run=lambda: window))
+    return specs
+
+
+def keys_from_next(windows):
+    counter = itertools.count()
+    return [
+        TrialSpec(key=f"t{next(counter)}", run=lambda: w) for w in windows
+    ]
+
+
+def keys_from_accumulator_len(windows):
+    specs = []
+    for window in windows:
+        specs.append(TrialSpec(key=f"t{len(specs)}", run=lambda: window))
+    return specs

@@ -1,0 +1,28 @@
+# repro-lint-fixture-module: repro.analysis.fixture_det001_ok
+"""DET001 negative fixture: all randomness threads through seeds."""
+
+import random
+
+import numpy as np
+
+
+def seeded_generator(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def seeded_sequence(seed: int) -> np.random.SeedSequence:
+    return np.random.SeedSequence(seed)
+
+
+def seeded_stdlib_inside_function(seed: int) -> random.Random:
+    # Seeded and function-local: draw order is the caller's business.
+    return random.Random(seed)
+
+
+def generator_methods(rng: np.random.Generator) -> float:
+    rng.shuffle(values := list(range(4)))
+    return rng.random() + values[0]
+
+
+def spawned(parent: np.random.SeedSequence) -> list:
+    return parent.spawn(3)

@@ -1,0 +1,46 @@
+# repro-lint-fixture-module: repro.analysis.fixture_det001
+"""DET001 positive fixture: every form of global/unseeded RNG."""
+
+import random
+import secrets
+
+import numpy as np
+from numpy.random import default_rng
+
+_MODULE_RNG = random.Random(42)  # module-level: draw order <- import order
+
+
+def stdlib_global() -> float:
+    return random.random()
+
+
+def stdlib_shuffle(items: list) -> None:
+    random.shuffle(items)
+
+
+def numpy_legacy() -> float:
+    return np.random.rand()
+
+
+def numpy_legacy_choice(items: list):
+    return np.random.choice(items)
+
+
+def numpy_random_state():
+    return np.random.RandomState(7)
+
+
+def unseeded_generator():
+    return default_rng()
+
+
+def unseeded_seed_sequence():
+    return np.random.SeedSequence()
+
+
+def unseeded_stdlib_instance():
+    return random.Random()
+
+
+def os_entropy() -> bytes:
+    return secrets.token_bytes(16)

@@ -1,0 +1,12 @@
+# repro-lint-fixture-module: repro.experiments.runner
+"""DET002 negative fixture: the allowlisted runner module itself."""
+
+import time
+
+
+def wall_clock() -> float:
+    return time.time()
+
+
+def monotonic_clock() -> float:
+    return time.monotonic()

@@ -1,0 +1,17 @@
+# repro-lint-fixture-module: repro.dsa.fixture_det002_ok
+"""DET002 negative fixture: model code reads only the simulated clock."""
+
+
+def elapsed_cycles(clock) -> int:
+    return clock.now()
+
+
+def deadline(clock, budget_cycles: int) -> int:
+    return clock.now() + budget_cycles
+
+
+def stamp_from_helper() -> float:
+    # The sanctioned indirection: the runner owns the host clock.
+    from repro.experiments.runner import wall_clock
+
+    return wall_clock()

@@ -1,0 +1,32 @@
+# repro-lint-fixture-module: repro.dsa.fixture_det002
+"""DET002 positive fixture: host-clock reads inside a model package."""
+
+import datetime
+import os
+import time
+import uuid
+from time import perf_counter as pc
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def measure() -> float:
+    return pc()
+
+
+def monotonic_budget() -> float:
+    return time.monotonic()
+
+
+def now() -> datetime.datetime:
+    return datetime.datetime.now()
+
+
+def entropy() -> bytes:
+    return os.urandom(8)
+
+
+def run_id() -> uuid.UUID:
+    return uuid.uuid4()

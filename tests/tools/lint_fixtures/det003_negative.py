@@ -1,0 +1,25 @@
+# repro-lint-fixture-module: repro.core.fixture_det003_ok
+"""DET003 negative fixture: sorted sets, benign dict iteration."""
+
+
+def sorted_set(points) -> list:
+    out = []
+    for name in sorted({p.name for p in points}):
+        out.append(name)
+    return out
+
+
+def values_loop_without_sink(buckets: dict) -> int:
+    total = 0
+    for bucket in buckets.values():
+        total += len(bucket)
+    return total
+
+
+def plain_dict_loop(counts: dict) -> list:
+    # Insertion-ordered, hence deterministic.
+    return [key for key in counts]
+
+
+def membership_not_iteration(items, wanted) -> bool:
+    return wanted in set(items)

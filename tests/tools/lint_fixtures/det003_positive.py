@@ -1,0 +1,33 @@
+# repro-lint-fixture-module: repro.core.fixture_det003
+"""DET003 positive fixture: hash-ordered iteration."""
+
+
+def over_set_literal(points) -> list:
+    out = []
+    for name in {p.name for p in points}:
+        out.append(name)
+    return out
+
+
+def over_set_call(items) -> list:
+    return [item for item in set(items)]
+
+
+def over_union(a: set, b: set) -> list:
+    out = []
+    for item in a.union(b):
+        out.append(item)
+    return out
+
+
+def over_local_set_name() -> list:
+    pending = {"alpha", "beta"}
+    out = []
+    for name in pending:
+        out.append(name)
+    return out
+
+
+def values_loop_feeding_scheduler(timeline, queues: dict) -> None:
+    for queue in queues.values():
+        timeline.schedule_at(queue.deadline, queue.drain)

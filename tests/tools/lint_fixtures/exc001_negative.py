@@ -1,0 +1,33 @@
+# repro-lint-fixture-module: repro.workloads.fixture_exc001_ok
+"""EXC001 negative fixture: narrow or re-raising handlers."""
+
+import contextlib
+
+from repro.errors import ReproError
+
+
+def narrow_except(trial):
+    try:
+        return trial()
+    except ReproError:
+        return None
+
+
+def stdlib_narrow(path):
+    try:
+        return path.read_text()
+    except FileNotFoundError:
+        return ""
+
+
+def broad_but_reraises(trial, log):
+    try:
+        return trial()
+    except Exception:
+        log.error("trial blew up")
+        raise
+
+
+def narrow_suppress(path) -> None:
+    with contextlib.suppress(FileNotFoundError):
+        path.unlink()

@@ -1,0 +1,30 @@
+# repro-lint-fixture-module: repro.workloads.fixture_exc001
+"""EXC001 positive fixture: handlers wide enough to hide corruption."""
+
+import contextlib
+
+
+def bare_except(trial) -> None:
+    try:
+        trial()
+    except:  # noqa: E722
+        pass
+
+
+def broad_except(trial):
+    try:
+        return trial()
+    except Exception:
+        return None
+
+
+def broad_in_tuple(trial):
+    try:
+        return trial()
+    except (ValueError, Exception):
+        return None
+
+
+def broad_suppress(journal) -> None:
+    with contextlib.suppress(Exception):
+        journal.flush()

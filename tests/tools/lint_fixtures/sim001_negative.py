@@ -1,0 +1,14 @@
+# repro-lint-fixture-module: repro.virt.scheduler
+"""SIM001 negative fixture: the owning module hooks its own site."""
+
+from repro.faults.plan import FaultSite
+
+
+class Timeline:
+    def __init__(self) -> None:
+        self.fault_injector = None  # declaration idiom: allowed
+
+    def maybe_preempt(self, now: int):
+        if self.fault_injector is None:
+            return None
+        return self.fault_injector.fire(FaultSite.PREEMPTION, now)

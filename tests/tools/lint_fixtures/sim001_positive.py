@@ -1,0 +1,21 @@
+# repro-lint-fixture-module: repro.covert.fixture_sim001
+"""SIM001 positive fixture: site contract violations from a non-owner."""
+
+from repro.faults.plan import FaultSite
+
+
+def fire_unowned_site(injector, now: int) -> None:
+    # PREEMPTION belongs to repro.virt.scheduler, not this module.
+    injector.fire(FaultSite.PREEMPTION, now)
+
+
+def fire_unknown_site(injector, now: int) -> None:
+    injector.fire("bogus_site", now)
+
+
+def mutate_tlb_directly(devtlb) -> None:
+    devtlb.invalidate_all()
+
+
+def hand_wired_attachment(device, injector) -> None:
+    device.fault_injector = injector

@@ -1,0 +1,16 @@
+# repro-lint-fixture-module: repro.analysis.fixture_suppressions
+"""Suppression fixture: inline directives silence scoped rules."""
+
+import random
+
+
+def scoped_suppression() -> float:
+    return random.random()  # repro-lint: ignore[DET001]
+
+
+def blanket_suppression() -> float:
+    return random.random()  # repro-lint: ignore
+
+
+def wrong_scope_still_fires() -> float:
+    return random.random()  # repro-lint: ignore[DET002]
