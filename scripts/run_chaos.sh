@@ -9,4 +9,9 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 # determinism/invariant rules (docs/static-analysis.md).
 python -m repro.lint src
 
+# Chaos runs assert "injected faults are either handled or detected":
+# every CloudSystem built under this suite carries the strict runtime
+# invariant monitor (docs/invariants.md).
+export REPRO_INVARIANTS="${REPRO_INVARIANTS:-strict}"
+
 exec python -m pytest tests/chaos -o addopts="" -q "$@"

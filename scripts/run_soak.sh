@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Run the randomized self-verifying soak harness (docs/invariants.md).
+#
+# Default budget is deliberately bounded: SOAK_RUNS consecutive seeds at
+# SOAK_OPERATIONS operations each under the strict monitor — about a
+# minute of wall clock — so the script is safe to wire into CI.  Raise
+# the env knobs (or pass explicit flags after `--`) for a longer hunt:
+#
+#   SOAK_RUNS=50 SOAK_SEED=1000 scripts/run_soak.sh
+#   scripts/run_soak.sh -- --seed 7 --operations 2000 --mode strict
+#
+# Exit code 6 (EXIT_INVARIANT) means a violation was found; the minimal
+# shrunken reproducer and the one-command repro line are printed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+SOAK_SEED="${SOAK_SEED:-0}"
+SOAK_RUNS="${SOAK_RUNS:-8}"
+SOAK_OPERATIONS="${SOAK_OPERATIONS:-300}"
+
+# The soak-marked pytest scenarios first (excluded from tier-1).
+python -m pytest tests/invariants -o addopts="" -m soak -q
+
+if [[ "${1:-}" == "--" ]]; then
+    shift
+    exec python -m repro.invariants.soak "$@"
+fi
+
+exec python -m repro.invariants.soak \
+    --seed "$SOAK_SEED" \
+    --runs "$SOAK_RUNS" \
+    --operations "$SOAK_OPERATIONS" \
+    "$@"

@@ -52,6 +52,7 @@ class TranslationAgent:
         self.iotlb = iotlb or IoTlb()
         self.prs = prs or PageRequestService()
         self.walks = 0
+        self.invariant_monitor = None
 
     def translate(
         self, pasid: int, virtual_address: int, write: bool = False, timestamp: int = 0
@@ -62,6 +63,8 @@ class TranslationAgent:
         faulting walk goes through the PRS; if the PRS handler resolves the
         fault the walk is retried once.
         """
+        if self.invariant_monitor is not None:
+            self.invariant_monitor.note("translate", pasid=pasid)
         space = self.pasid_table.lookup(pasid)
         vpn = virtual_address >> PAGE_SHIFT
         cycles = self.iotlb.lookup_cycles

@@ -122,6 +122,7 @@ class DevTlb:
         self._entries: dict[tuple, _SubEntry] = {}
         self.stats = DevTlbStats()
         self._per_engine: dict[int, DevTlbStats] = {}
+        self.invariant_monitor = None
 
     # ------------------------------------------------------------------
     # Lookup / fill
@@ -179,6 +180,10 @@ class DevTlb:
                 engine_stats.hits += 1
                 engine_stats.no_alloc += 1
                 sub.slots.append(sub.slots.pop(index))  # mark MRU
+                if self.invariant_monitor is not None:
+                    self.invariant_monitor.note(
+                        "devtlb", engine_id=engine_id, pasid=pasid, hit=1
+                    )
                 return True
 
         pages = 512 if huge else 1
@@ -187,6 +192,10 @@ class DevTlb:
         if len(sub.slots) >= self.config.slots_per_subentry:
             sub.slots.pop(0)
         sub.slots.append(new_slot)
+        if self.invariant_monitor is not None:
+            self.invariant_monitor.note(
+                "devtlb", engine_id=engine_id, pasid=pasid, hit=0
+            )
         return False
 
     def fill(
@@ -209,6 +218,10 @@ class DevTlb:
         if len(sub.slots) >= self.config.slots_per_subentry:
             sub.slots.pop(0)
         sub.slots.append(_Slot(base_vpn=base_vpn, pages=pages, pasid=pasid))
+        if self.invariant_monitor is not None:
+            self.invariant_monitor.note(
+                "devtlb", engine_id=engine_id, pasid=pasid, hit=0
+            )
 
     def peek(
         self, engine_id: int, field_type: FieldType, virtual_page: int, pasid: int
@@ -263,6 +276,26 @@ class DevTlb:
         if sub is None:
             return []
         return [slot.base_vpn for slot in sub.slots]
+
+    def census(self) -> "list[tuple[int, str, int | None, tuple[int, ...]]]":
+        """A read-only walk over every sub-entry for the invariant audit.
+
+        Yields ``(engine_id, field_name, key_pasid, slot_pasids)`` per
+        sub-entry; ``key_pasid`` is ``None`` on the real (unpartitioned)
+        device, where sub-entries carry no PASID tag.
+        """
+        rows = []
+        for key, sub in self._entries.items():
+            key_pasid = key[2] if self.config.pasid_partitioned else None
+            rows.append(
+                (
+                    key[0],
+                    key[1].value,
+                    key_pasid,
+                    tuple(slot.pasid for slot in sub.slots),
+                )
+            )
+        return rows
 
     @property
     def occupancy(self) -> int:

@@ -81,13 +81,18 @@ class PageRequestService:
         if self._log.maxlen is not None and len(self._log) == self._log.maxlen:
             self.dropped += 1
         self._log.append(request)
-        if self.fault_injector is not None and self.fault_injector.fire(
-            FaultSite.PRS_DROP,
-            timestamp=timestamp,
-            pasid=pasid,
-            address=virtual_address,
-        ):
+        if self.fault_injector is not None:
+            drop = self.fault_injector.fire(
+                FaultSite.PRS_DROP,
+                timestamp=timestamp,
+                pasid=pasid,
+                address=virtual_address,
+            )
+        else:
+            drop = None
+        if drop is not None:
             self.failed += 1
+            self.fault_injector.acknowledge(drop, action="prs-request-dropped")
             raise TranslationFault(
                 virtual_address,
                 f"injected unresolved device page fault at {virtual_address:#x} "

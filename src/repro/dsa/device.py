@@ -56,6 +56,9 @@ class SubmissionTicket:
     devtlb_misses: int = 0
     children_pending: int = 0
     parent: "SubmissionTicket | None" = None
+    #: Device-wide monotonic id, used by the exactly-once completion
+    #: invariant (``-1`` for tickets that never reached the device).
+    ticket_id: int = -1
 
     @property
     def completed(self) -> bool:
@@ -169,10 +172,12 @@ class DsaDevice:
         }
         self._batch_sequence = 0
         self._tickets: dict[tuple[int, int], SubmissionTicket] = {}
+        self._ticket_sequence = 0
         self._pending_work = 0  # entries awaiting dispatch (fast-path gate)
         self._time = 0
         self.interrupt_log: list[InterruptEvent] = []
         self.fault_injector = None
+        self.invariant_monitor = None
 
     # ------------------------------------------------------------------
     # Configuration (root-only paths are gated by AccelConfig)
@@ -237,23 +242,41 @@ class DsaDevice:
         """
         self.advance_to(time)
         descriptor.validate()
-        if self.fault_injector is not None and self.fault_injector.fire(
-            FaultSite.WQ_DRAIN, timestamp=time, pasid=descriptor.pasid, wq_id=wq_id
-        ):
-            # Mid-flight drain/disable: queued descriptors abort (the idxd
-            # WQ-disable path), then the queue resumes service — including
-            # for the submission that triggered the opportunity.
-            self.stats.injected_wq_drains += 1
-            self.stats.injected_drain_aborts += self.disable_wq(wq_id)
+        if self.fault_injector is not None:
+            drain = self.fault_injector.fire(
+                FaultSite.WQ_DRAIN, timestamp=time, pasid=descriptor.pasid, wq_id=wq_id
+            )
+            if drain is not None:
+                # Mid-flight drain/disable: queued descriptors abort (the
+                # idxd WQ-disable path), then the queue resumes service —
+                # including for the submission that triggered the
+                # opportunity.
+                self.stats.injected_wq_drains += 1
+                self.stats.injected_drain_aborts += self.disable_wq(wq_id)
+                self.fault_injector.acknowledge(drain, action="wq-disable")
         wq = self.queue_space.get(wq_id)
         entry = wq.try_enqueue(descriptor, time)
         if entry is None:
             self.stats.submissions_retried += 1
+            if self.invariant_monitor is not None:
+                self.invariant_monitor.note(
+                    "submit", time, wq_id=wq_id, pasid=descriptor.pasid, accepted=0
+                )
             return True, None
-        ticket = SubmissionTicket(descriptor=descriptor, wq_id=wq_id, enqueue_time=time)
+        ticket = SubmissionTicket(
+            descriptor=descriptor,
+            wq_id=wq_id,
+            enqueue_time=time,
+            ticket_id=self._ticket_sequence,
+        )
+        self._ticket_sequence += 1
         self._tickets[(wq_id, entry.sequence)] = ticket
         self._pending_work += 1
         self.stats.submissions_accepted += 1
+        if self.invariant_monitor is not None:
+            self.invariant_monitor.note(
+                "submit", time, wq_id=wq_id, pasid=descriptor.pasid, accepted=1
+            )
         self._dispatch_ready(time)
         return False, ticket
 
@@ -306,6 +329,15 @@ class DsaDevice:
         if ticket.wq_id is not None:
             self.queue_space.get(ticket.wq_id).release_slot()
         self.stats.descriptors_completed += 1
+        if self.invariant_monitor is not None:
+            self.invariant_monitor.note(
+                "complete",
+                time,
+                payload=ticket,
+                wq_id=ticket.wq_id,
+                engine_id=ticket.engine_id,
+                pasid=descriptor.pasid,
+            )
         parent = ticket.parent
         if parent is not None:
             parent.children_pending -= 1
@@ -325,6 +357,14 @@ class DsaDevice:
         if parent.wq_id is not None:
             self.queue_space.get(parent.wq_id).release_slot()
         self.stats.descriptors_completed += 1
+        if self.invariant_monitor is not None:
+            self.invariant_monitor.note(
+                "complete",
+                time,
+                payload=parent,
+                wq_id=parent.wq_id,
+                pasid=batch.pasid,
+            )
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -366,7 +406,7 @@ class DsaDevice:
         )
 
         if isinstance(descriptor, BatchDescriptor):
-            return self._dispatch_batch(group, choice, limit)
+            return self._dispatch_batch(group, choice, queues, limit)
 
         start = engine.earliest_start(
             after=choice.ready_time,
@@ -375,9 +415,24 @@ class DsaDevice:
         if start > limit:
             return False
 
+        monitor = self.invariant_monitor
+        snapshot = self._ready_heads(queues, limit) if monitor is not None else None
         ticket = self._pop_choice(choice)
         ticket.dispatch_time = start
         ticket.engine_id = engine_id
+        if monitor is not None:
+            monitor.note(
+                "dispatch",
+                start,
+                payload=snapshot,
+                wq_id=choice.wq.wq_id if choice.wq is not None else None,
+                priority=(
+                    choice.wq.config.priority if choice.wq is not None else None
+                ),
+                policy=self.arbiter.policy.value,
+                engine_id=engine_id,
+                source="wq" if choice.wq is not None else "batch",
+            )
         outcome = engine.execute(descriptor, start)
         ticket.completion_time = start + outcome.cycles
         ticket.devtlb_hits = outcome.devtlb_hits
@@ -386,16 +441,35 @@ class DsaDevice:
         engine.admit(completion_time=ticket.completion_time, token=ticket)
         return True
 
-    def _dispatch_batch(self, group: GroupConfig, choice: ArbiterChoice, limit: int) -> bool:
+    def _dispatch_batch(
+        self,
+        group: GroupConfig,
+        choice: ArbiterChoice,
+        queues: list[WorkQueue],
+        limit: int,
+    ) -> bool:
         """Hand a batch descriptor to the batch engine (fetcher)."""
         assert choice.wq_entry is not None, "batches only arrive via work queues"
         start = choice.ready_time
         if start > limit:
             return False
+        monitor = self.invariant_monitor
+        snapshot = self._ready_heads(queues, limit) if monitor is not None else None
         ticket = self._pop_choice(choice)
         batch = ticket.descriptor
         assert isinstance(batch, BatchDescriptor)
         ticket.dispatch_time = start
+        if monitor is not None:
+            assert choice.wq is not None
+            monitor.note(
+                "dispatch",
+                start,
+                payload=snapshot,
+                wq_id=choice.wq.wq_id,
+                priority=choice.wq.config.priority,
+                policy=self.arbiter.policy.value,
+                source="batch-parent",
+            )
         result = self.fetcher.fetch(batch, start)
         available = start + result.cycles
         ticket.children_pending = len(result.descriptors)
@@ -406,7 +480,9 @@ class DsaDevice:
                 wq_id=None,
                 enqueue_time=available,
                 parent=ticket,
+                ticket_id=self._ticket_sequence,
             )
+            self._ticket_sequence += 1
             self._batch_buffers[engine_id].append(
                 BatchBufferEntry(
                     descriptor=descriptor,
@@ -418,6 +494,24 @@ class DsaDevice:
             self._batch_sequence += 1
             self._pending_work += 1
         return True
+
+    def _ready_heads(
+        self, queues: list[WorkQueue], time: int
+    ) -> tuple[tuple[int, int, int], ...]:
+        """Ready queue heads as ``(wq_id, priority, enqueue_time)`` triples.
+
+        The arbiter-fairness invariant compares this snapshot (taken at
+        choice time, before the chosen entry is popped) against the
+        dispatched descriptor.
+        """
+        heads = []
+        for queue in queues:
+            entry = queue.peek()
+            if entry is not None and entry.enqueue_time <= time:
+                heads.append(
+                    (queue.wq_id, queue.config.priority, entry.enqueue_time)
+                )
+        return tuple(heads)
 
     def _pop_choice(self, choice: ArbiterChoice) -> SubmissionTicket:
         """Remove the chosen entry from its source and return its ticket."""
@@ -463,6 +557,10 @@ class DsaDevice:
                 ticket.completion_time = self._time
                 ticket.record = record
             aborted += 1
+        if self.invariant_monitor is not None:
+            self.invariant_monitor.note(
+                "drain", self._time, wq_id=wq_id, aborted=aborted
+            )
         return aborted
 
     @property

@@ -255,6 +255,7 @@ class Engine:
                 bytes_completed=0,
                 fault_address=descriptor.src if status is CompletionStatus.PAGE_FAULT else 0,
             )
+            self.fault_injector.acknowledge(injected_error, action="error-record")
         else:
             record = self._perform_operation(descriptor)
 
@@ -274,22 +275,26 @@ class Engine:
         """
         injector = self.fault_injector
         stall = 0
-        if injector.fire(
+        devtlb_inval = injector.fire(
             FaultSite.DEVTLB_INVALIDATE,
             timestamp=timestamp,
             pasid=descriptor.pasid,
             engine_id=self.engine_id,
-        ):
+        )
+        if devtlb_inval is not None:
             self.stats.injected_faults += 1
             self.devtlb.invalidate_all()
-        if injector.fire(
+            injector.acknowledge(devtlb_inval, action="devtlb-invalidated")
+        iotlb_inval = injector.fire(
             FaultSite.IOTLB_INVALIDATE,
             timestamp=timestamp,
             pasid=descriptor.pasid,
             engine_id=self.engine_id,
-        ):
+        )
+        if iotlb_inval is not None:
             self.stats.injected_faults += 1
             self.agent.iotlb.invalidate_all()
+            injector.acknowledge(iotlb_inval, action="iotlb-invalidated")
         event = injector.fire(
             FaultSite.ENGINE_STALL,
             timestamp=timestamp,
@@ -300,6 +305,7 @@ class Engine:
             self.stats.injected_faults += 1
             stall = event.magnitude_cycles
             self.stats.injected_stall_cycles += stall
+            injector.acknowledge(event, action="engine-stalled")
         return stall
 
     # ------------------------------------------------------------------

@@ -101,6 +101,7 @@ class Portal:
         if delay is not None:
             self.faults_injected += 1
             self.clock.advance(delay.magnitude_cycles)
+            injector.acknowledge(delay, action="submission-delayed")
         drop = injector.fire(
             FaultSite.SUBMISSION_DROP,
             timestamp=self.clock.now,
@@ -112,6 +113,7 @@ class Portal:
         self.faults_injected += 1
         self.device.advance_to(self.clock.now)
         self.last_ticket = None
+        injector.acknowledge(drop, action="submission-dropped")
         return True
 
     # ------------------------------------------------------------------

@@ -153,6 +153,109 @@ class ResumeMismatchError(CheckpointError):
         self.actual = actual
 
 
+class InvariantViolation(ReproError):
+    """The runtime invariant monitor caught silent model corruption.
+
+    Raised by :class:`~repro.invariants.monitor.InvariantMonitor` when a
+    registered checker finds the model in a state that violates one of
+    the architectural conservation laws (WQ credit conservation,
+    exactly-once completion writes, DevTLB occupancy bounds, arbiter
+    fairness, timeline monotonicity).  Unlike every other
+    :class:`ReproError`, a violation is **never contained** by the trial
+    guard: it means downstream latency distributions can no longer be
+    trusted, so the run must stop with a distinct exit code.
+
+    The carried context makes any trip replayable:
+
+    ``invariant``
+        Stable checker name (e.g. ``wq-credits``).
+    ``timestamp``
+        Simulated time (cycles) when the check ran.
+    ``seed``
+        The system seed of the run, when the monitor knows it.
+    ``snapshot``
+        A bounded ``{str: int | float | str}`` picture of the relevant
+        model state at trip time.
+    ``events``
+        The monitor's recent event window (oldest first), each event a
+        ``{str: int | str}`` dict.
+    ``repro``
+        A one-command reproduction hint (set by the soak driver /
+        runner), empty when unknown.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        invariant: str = "",
+        timestamp: int | None = None,
+        seed: int | None = None,
+        snapshot: "dict[str, object] | None" = None,
+        events: "tuple[dict[str, object], ...]" = (),
+        repro: str = "",
+    ) -> None:
+        super().__init__(message or f"invariant {invariant or '?'} violated")
+        self.invariant = invariant
+        self.timestamp = timestamp
+        self.seed = seed
+        self.snapshot = dict(snapshot or {})
+        self.events = tuple(events)
+        self.repro = repro
+
+    def describe(self) -> str:
+        """Multi-line report: message, snapshot, event window, repro."""
+        lines = [f"InvariantViolation[{self.invariant}]: {self}"]
+        if self.seed is not None:
+            lines.append(f"  seed: {self.seed}")
+        if self.timestamp is not None:
+            lines.append(f"  timestamp: {self.timestamp} cycles")
+        if self.snapshot:
+            lines.append("  state snapshot:")
+            for key in sorted(self.snapshot):
+                lines.append(f"    {key} = {self.snapshot[key]!r}")
+        if self.events:
+            lines.append(f"  last {len(self.events)} events (oldest first):")
+            for event in self.events:
+                lines.append(f"    {event!r}")
+        if self.repro:
+            lines.append(f"  reproduce with: {self.repro}")
+        return "\n".join(lines)
+
+
+class UnhandledFaultError(ReproError):
+    """An injected fault was absorbed without any layer accounting for it.
+
+    The chaos contract is "injected faults are either handled or
+    detected — never absorbed silently": every component that applies a
+    fault effect calls
+    :meth:`~repro.faults.injector.FaultInjector.acknowledge`, and
+    :func:`~repro.experiments.guard.run_guarded_trials` audits the
+    fired-versus-acknowledged ledger after each trial.  A trial that
+    ends green while faults fired unacknowledged fails with this error
+    instead — the structured alternative to a silently skewed figure.
+
+    ``unacknowledged`` maps fault-site ids to the number of events that
+    fired during the trial with no matching acknowledgement.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        unacknowledged: "dict[str, int] | None" = None,
+    ) -> None:
+        detail = unacknowledged or {}
+        if not message:
+            summary = ", ".join(
+                f"{site}×{count}" for site, count in sorted(detail.items())
+            )
+            message = (
+                "injected fault(s) absorbed with no handled outcome and no"
+                f" invariant trip: {summary or 'unknown site'}"
+            )
+        super().__init__(message)
+        self.unacknowledged = dict(detail)
+
+
 class DatasetCorruptionError(ReproError, ValueError):
     """An on-disk artifact failed its integrity check on load.
 

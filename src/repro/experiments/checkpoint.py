@@ -48,6 +48,7 @@ STATUS_INTERRUPTED = "interrupted"
 STATUS_DEADLINE = "deadline"
 STATUS_INSUFFICIENT = "insufficient"
 STATUS_FAILED = "failed"
+STATUS_INVARIANT = "invariant"
 
 
 # ----------------------------------------------------------------------

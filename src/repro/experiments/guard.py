@@ -22,7 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.errors import InsufficientTrialsError, ReproError
+from repro.errors import (
+    InsufficientTrialsError,
+    InvariantViolation,
+    ReproError,
+    UnhandledFaultError,
+)
 
 Trial = Callable[[], Any]
 
@@ -71,6 +76,28 @@ class GuardedRun:
         return not self.failures and not self.skipped and not self.stop_reason
 
 
+def _unacknowledged(
+    injector: Any,
+    fired_before: "dict[Any, int] | None" = None,
+    handled_before: "dict[Any, int] | None" = None,
+) -> "dict[str, int]":
+    """Site-id → count of faults fired with no matching acknowledgement.
+
+    With *before* snapshots the audit covers only the current trial's
+    window; without them (per-trial injectors) it covers the injector's
+    whole lifetime.
+    """
+    fired_base = fired_before or {}
+    handled_base = handled_before or {}
+    gaps: dict[str, int] = {}
+    for site, fired in injector.fired_by_site.items():
+        fired -= fired_base.get(site, 0)
+        handled = injector.handled_by_site.get(site, 0) - handled_base.get(site, 0)
+        if fired > handled:
+            gaps[site.value] = fired - handled
+    return gaps
+
+
 def run_guarded_trials(
     trials: Sequence[Trial],
     catch: tuple[type[Exception], ...] = (ReproError,),
@@ -80,6 +107,7 @@ def run_guarded_trials(
     skip_trial: Callable[[int], str | None] | None = None,
     stop: Callable[[], str | None] | None = None,
     on_trial_end: Callable[[int, Any, TrialFailure | None, float], None] | None = None,
+    fault_injector: Any = None,
 ) -> GuardedRun:
     """Run *trials* (zero-argument callables), containing failures.
 
@@ -105,6 +133,23 @@ def run_guarded_trials(
     :class:`TrialFailure` (``result is None``) plus the trial's wall
     time.  Exceptions it raises propagate — a checkpoint that cannot be
     written must not be ignored.
+
+    *fault_injector* — a :class:`~repro.faults.injector.FaultInjector`
+    (or a zero-argument callable returning one, for trials that build
+    their system per trial; return ``None`` to skip the audit).  After
+    each *successful* trial the fired-versus-acknowledged ledger is
+    audited: faults that fired during the trial with no matching
+    :meth:`~repro.faults.injector.FaultInjector.acknowledge` — and no
+    invariant trip — convert the green trial into a
+    :class:`~repro.errors.UnhandledFaultError` failure.  Chaos runs use
+    this to assert "injected faults are either handled or detected —
+    never absorbed silently".
+
+    Regardless of *catch*, :class:`~repro.errors.InvariantViolation`
+    always propagates: a tripped invariant means the model state (and
+    therefore every subsequent trial) can no longer be trusted, so it
+    must surface as a distinct run outcome rather than a contained
+    per-trial failure.
     """
     if min_successes < 0:
         raise ValueError(f"min_successes must be >= 0, got {min_successes}")
@@ -142,9 +187,22 @@ def run_guarded_trials(
             if reason:
                 bypassed.append((index, reason))
                 continue
+        static_injector = None if callable(fault_injector) else fault_injector
+        fired_before = (
+            dict(static_injector.fired_by_site)
+            if static_injector is not None
+            else None
+        )
+        handled_before = (
+            dict(static_injector.handled_by_site)
+            if static_injector is not None
+            else None
+        )
         trial_start = monotonic_clock()
         try:
             result = trial()
+        except InvariantViolation:
+            raise
         except catch as exc:
             elapsed = monotonic_clock() - trial_start
             failure = TrialFailure(index=index, error=exc, elapsed_s=elapsed)
@@ -153,9 +211,27 @@ def run_guarded_trials(
                 on_trial_end(index, None, failure, elapsed)
         else:
             elapsed = monotonic_clock() - trial_start
-            results.append(result)
-            if on_trial_end is not None:
-                on_trial_end(index, result, None, elapsed)
+            injector = (
+                fault_injector() if callable(fault_injector) else fault_injector
+            )
+            gaps = (
+                _unacknowledged(injector, fired_before, handled_before)
+                if injector is not None
+                else {}
+            )
+            if gaps:
+                failure = TrialFailure(
+                    index=index,
+                    error=UnhandledFaultError(unacknowledged=gaps),
+                    elapsed_s=elapsed,
+                )
+                failures.append(failure)
+                if on_trial_end is not None:
+                    on_trial_end(index, None, failure, elapsed)
+            else:
+                results.append(result)
+                if on_trial_end is not None:
+                    on_trial_end(index, result, None, elapsed)
     run = GuardedRun(
         results=tuple(results),
         failures=tuple(failures),

@@ -54,6 +54,7 @@ from typing import Any, Callable, Iterator, Sequence
 from repro.errors import (
     CheckpointError,
     InsufficientTrialsError,
+    InvariantViolation,
     ReproError,
     ResumeMismatchError,
 )
@@ -63,6 +64,7 @@ from repro.experiments.checkpoint import (
     STATUS_FAILED,
     STATUS_INSUFFICIENT,
     STATUS_INTERRUPTED,
+    STATUS_INVARIANT,
     STATUS_RUNNING,
     CheckpointJournal,
     RunManifest,
@@ -76,6 +78,7 @@ EXIT_OK = 0
 EXIT_INSUFFICIENT = 3
 EXIT_REPRO = 4
 EXIT_CONFIG_MISMATCH = 5
+EXIT_INVARIANT = 6  # a runtime invariant tripped: model state untrusted
 EXIT_DEADLINE = 75  # EX_TEMPFAIL: partial, resumable
 EXIT_INTERRUPTED = 130  # 128 + SIGINT, conventionally
 
@@ -83,6 +86,7 @@ _STATUS_EXIT = {
     STATUS_COMPLETED: EXIT_OK,
     STATUS_INSUFFICIENT: EXIT_INSUFFICIENT,
     STATUS_FAILED: EXIT_REPRO,
+    STATUS_INVARIANT: EXIT_INVARIANT,
     STATUS_DEADLINE: EXIT_DEADLINE,
     STATUS_INTERRUPTED: EXIT_INTERRUPTED,
 }
@@ -382,6 +386,7 @@ def run_experiment(
     deadline_s: float | None = None,
     breaker: BreakerConfig | None = None,
     catch: tuple[type[Exception], ...] = (ReproError,),
+    fault_injector: Any = None,
 ) -> RunOutcome:
     """Execute *plan* under supervision; never raises for expected
     failure modes (they land in the returned :class:`RunOutcome`).
@@ -511,10 +516,15 @@ def run_experiment(
             skip_trial=skip_trial,
             stop=watchdog.check,
             on_trial_end=on_trial_end,
+            fault_injector=fault_injector,
         )
     except KeyboardInterrupt:
         # Everything up to the interrupted trial is already journaled.
         return _finish(STATUS_INTERRUPTED)
+    except InvariantViolation as exc:
+        # A tripped invariant is never a per-trial failure: the model
+        # state (and any further trials) can no longer be trusted.
+        return _finish(STATUS_INVARIANT, error=exc)
 
     if guarded.stop_reason == STOP_DEADLINE:
         _deadline_skips = guarded.skipped
@@ -539,6 +549,8 @@ def run_experiment(
         result = plan.finalize(merged)
     except InsufficientTrialsError as exc:
         return _finish(STATUS_INSUFFICIENT, error=exc)
+    except InvariantViolation as exc:
+        return _finish(STATUS_INVARIANT, error=exc)
     except ReproError as exc:
         return _finish(STATUS_FAILED, error=exc)
     return _finish(STATUS_COMPLETED, result=result)

@@ -88,6 +88,9 @@ class FaultInjector:
         self._seq = 0
         self.events_dropped = 0
         self.fired_by_site: dict[FaultSite, int] = {}
+        self.handled_by_site: dict[FaultSite, int] = {}
+        self.handled = 0
+        self._last_action: dict[FaultSite, str] = {}
         self.opportunities = 0
         self._site_owners: dict[FaultSite, str] = {}
 
@@ -211,6 +214,24 @@ class FaultInjector:
         self._events.append(event)
         self.fired_by_site[spec.site] = self.fired_by_site.get(spec.site, 0) + 1
         return event
+
+    def acknowledge(self, event: FaultEvent, action: str = "") -> None:
+        """Record that *event*'s effect was applied and accounted.
+
+        Every component that consumes a :meth:`fire` result must call
+        this once the effect landed (slot aborts counted, stall cycles
+        charged, the typed error raised).  The guarded-trial audit
+        compares ``fired_by_site`` against ``handled_by_site``: a fault
+        that fired but was never acknowledged — and tripped no invariant
+        — fails the trial as silently absorbed
+        (:class:`~repro.errors.UnhandledFaultError`).  *action* is a
+        short label kept for diagnostics on the last event per site.
+        """
+        self.handled += 1
+        self.handled_by_site[event.site] = (
+            self.handled_by_site.get(event.site, 0) + 1
+        )
+        self._last_action[event.site] = action
 
     # ------------------------------------------------------------------
     # The log

@@ -41,6 +41,7 @@ class TscClock:
         self.freq_hz = freq_hz
         self.rdtsc_overhead = rdtsc_overhead
         self._now = 0
+        self.invariant_monitor = None
 
     @property
     def now(self) -> int:
@@ -67,6 +68,8 @@ class TscClock:
         if cycles < 0:
             raise ValueError(f"cannot advance the TSC by {cycles} cycles")
         self._now += int(cycles)
+        if self.invariant_monitor is not None:
+            self.invariant_monitor.observe_clock(self._now)
         return self._now
 
     def advance_us(self, microseconds: float) -> int:
@@ -81,6 +84,8 @@ class TscClock:
         """
         if timestamp > self._now:
             self._now = int(timestamp)
+            if self.invariant_monitor is not None:
+                self.invariant_monitor.observe_clock(self._now)
         return self._now
 
     def __repr__(self) -> str:

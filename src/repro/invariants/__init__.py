@@ -1,0 +1,54 @@
+"""Runtime invariant monitoring for the DSA model.
+
+The model is only evidence if it cannot *silently* corrupt itself: a
+leaked work-queue credit or a double-written completion record would
+skew every latency distribution downstream without failing a single
+assertion.  This package turns the architectural conservation laws into
+machine-checked runtime invariants:
+
+* :class:`InvariantMonitor` — pluggable checkers at model step points,
+  ``strict`` or ``sampling`` audit cadence
+  (:mod:`repro.invariants.monitor`);
+* the checker catalog — WQ credits, exactly-once completion, DevTLB
+  consistency, arbiter fairness, timeline monotonicity
+  (:mod:`repro.invariants.checkers`);
+* the guarded-field ownership map backing the SIM002 lint rule
+  (:mod:`repro.invariants.fields`);
+* the seeded randomized soak driver with workload shrinking
+  (:mod:`repro.invariants.soak`, ``python -m repro.invariants.soak``).
+
+See ``docs/invariants.md`` for the catalog and the replay workflow.
+"""
+
+from repro.errors import InvariantViolation
+from repro.invariants.checkers import (
+    ArbiterFairnessChecker,
+    CompletionChecker,
+    DevTlbChecker,
+    TimelineChecker,
+    WqCreditChecker,
+    default_checkers,
+)
+from repro.invariants.fields import FIELD_OWNERS, MUTATING_METHODS
+from repro.invariants.monitor import (
+    InvariantChecker,
+    InvariantMonitor,
+    MonitorMode,
+    coerce_mode,
+)
+
+__all__ = [
+    "ArbiterFairnessChecker",
+    "CompletionChecker",
+    "DevTlbChecker",
+    "FIELD_OWNERS",
+    "InvariantChecker",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "MonitorMode",
+    "MUTATING_METHODS",
+    "TimelineChecker",
+    "WqCreditChecker",
+    "coerce_mode",
+    "default_checkers",
+]

@@ -1,0 +1,492 @@
+"""Seeded randomized soak harness for the self-verifying model.
+
+Generates a random-but-deterministic descriptor/submission workload
+across SWQ/DWQ/batch/multi-engine configurations, runs it under an
+:class:`~repro.invariants.monitor.InvariantMonitor` in strict mode, and
+— when a checker trips — shrinks the failing operation list to a
+minimal reproducer (ddmin-style chunk removal).  Everything is a pure
+function of the seed, so any violation is replayable as::
+
+    PYTHONPATH=src python -m repro.invariants.soak --seed <N> --operations <M>
+
+Budgets are expressed in *operation counts*, never wall-clock time: the
+soak must stay deterministic (docs/static-analysis.md, DET002).
+
+Run via ``scripts/run_soak.sh`` or ``python -m repro.invariants.soak``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.dsa.batch import write_batch_list
+from repro.dsa.descriptor import BatchDescriptor, Descriptor, make_memcpy, make_noop
+from repro.dsa.opcodes import Opcode
+from repro.dsa.wq import WorkQueueConfig, WqMode
+from repro.errors import InvariantViolation, ReproError
+from repro.experiments.runner import EXIT_INVARIANT
+from repro.hw.units import PAGE_SIZE
+from repro.invariants.monitor import InvariantMonitor
+from repro.virt.system import CloudSystem
+
+#: Poll bound for every wait: generous at simulated 2 GHz, but finite so
+#: a lost completion surfaces as a handled CompletionTimeoutError.
+WAIT_TIMEOUT_CYCLES = 5_000_000
+
+#: Stream label mixed into the seed so soak draws never collide with the
+#: model's own seeded generators.
+_SOAK_STREAM = 0x50A5
+
+_OP_KINDS = ("submit_wait", "submit", "wait", "batch", "advance", "drain")
+_OP_WEIGHTS = (0.30, 0.22, 0.16, 0.08, 0.18, 0.06)
+_SIZES = (0, 64, 1024, 4096, 16384)
+_BUFFER_BYTES = 64 * 1024
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """One soak run, fully determined by its fields."""
+
+    seed: int = 0
+    operations: int = 300
+    processes: int = 3
+    mode: str = "strict"
+    sample_every: int = 16
+    #: Maximum re-executions the shrinker may spend on one failure.
+    shrink_budget: int = 120
+
+
+@dataclass(frozen=True)
+class SoakOutcome:
+    """What one execution of an operation list observed."""
+
+    ok: bool
+    violation: InvariantViolation | None
+    ops_executed: int
+    submissions: int
+    waits: int
+    handled_errors: int
+    events_seen: int
+    audits_run: int
+
+
+@dataclass(frozen=True)
+class SoakResult:
+    """A full soak run: outcome plus (on failure) the minimal reproducer."""
+
+    config: SoakConfig
+    outcome: SoakOutcome
+    repro: str
+    minimal_ops: "tuple[dict[str, Any], ...] | None" = None
+    shrink_runs: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome.ok
+
+
+def _derive_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence((_SOAK_STREAM, seed)))
+
+
+# ----------------------------------------------------------------------
+# Workload generation
+# ----------------------------------------------------------------------
+def generate_topology(rng: np.random.Generator) -> "dict[str, Any]":
+    """Random engine/group/queue topology (SWQ, DWQ, multi-engine)."""
+    engines = int(rng.integers(1, 5))
+    if engines >= 2 and rng.random() < 0.5:
+        split = engines // 2
+        groups = [tuple(range(split)), tuple(range(split, engines))]
+    else:
+        groups = [tuple(range(engines))]
+    wqs = []
+    for wq_id in range(int(rng.integers(1, 4))):
+        wqs.append(
+            {
+                "wq_id": wq_id,
+                "size": int(rng.integers(4, 25)),
+                "mode": "dedicated" if rng.random() < 0.25 else "shared",
+                "priority": int(rng.integers(0, 4)),
+                "group": int(rng.integers(0, len(groups))),
+            }
+        )
+    return {"engines": engines, "groups": groups, "wqs": wqs}
+
+
+def _wq_owner(wq: "dict[str, Any]", processes: int) -> int:
+    """The process index that opens a dedicated queue."""
+    return int(wq["wq_id"]) % processes
+
+
+def generate_ops(
+    rng: np.random.Generator,
+    topology: "dict[str, Any]",
+    count: int,
+    processes: int,
+) -> "list[dict[str, Any]]":
+    """*count* random operations against *topology*."""
+    wqs = topology["wqs"]
+    ops: list[dict[str, Any]] = []
+    for _ in range(count):
+        kind = _OP_KINDS[int(rng.choice(len(_OP_KINDS), p=_OP_WEIGHTS))]
+        wq = wqs[int(rng.integers(0, len(wqs)))]
+        if wq["mode"] == "dedicated":
+            proc = _wq_owner(wq, processes)
+        else:
+            proc = int(rng.integers(0, processes))
+        op: dict[str, Any] = {"kind": kind, "proc": proc, "wq": int(wq["wq_id"])}
+        if kind in ("submit_wait", "submit"):
+            op["opcode"] = str(rng.choice(("noop", "memmove", "fill")))
+            op["size"] = int(_SIZES[int(rng.integers(0, len(_SIZES)))])
+        elif kind == "batch":
+            op["children"] = int(rng.integers(2, 7))
+        elif kind == "advance":
+            op["cycles"] = int(rng.integers(1_000, 200_000))
+        ops.append(op)
+    return ops
+
+
+def generate_workload(
+    config: SoakConfig,
+) -> "tuple[dict[str, Any], list[dict[str, Any]]]":
+    """The (topology, ops) pair for *config* — a pure function of the seed."""
+    rng = _derive_rng(config.seed)
+    topology = generate_topology(rng)
+    ops = generate_ops(rng, topology, config.operations, config.processes)
+    return topology, ops
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+class _Workbench:
+    """Per-process buffers and submission bookkeeping for one execution."""
+
+    def __init__(self, system: CloudSystem, topology: "dict[str, Any]", processes: int) -> None:
+        self.system = system
+        self.procs = []
+        self.comp_slot = 0
+        wqs = topology["wqs"]
+        for index in range(processes):
+            vm = system.create_vm(f"soak-vm-{index}")
+            proc = vm.spawn_process(f"soak-{index}")
+            for wq in wqs:
+                if wq["mode"] == "shared" or _wq_owner(wq, processes) == index:
+                    system.open_portal(proc, int(wq["wq_id"]))
+            self.procs.append(proc)
+        self.src = [proc.buffer(_BUFFER_BYTES) for proc in self.procs]
+        self.dst = [proc.buffer(_BUFFER_BYTES) for proc in self.procs]
+        self.comp = [proc.buffer(PAGE_SIZE) for proc in self.procs]
+        self.lists = [proc.buffer(PAGE_SIZE) for proc in self.procs]
+        self.pending: list[tuple[int, int, Any]] = []
+
+    def comp_addr(self, proc: int) -> int:
+        self.comp_slot = (self.comp_slot + 1) % (PAGE_SIZE // 32)
+        return self.comp[proc] + 32 * self.comp_slot
+
+    def descriptor(self, op: "dict[str, Any]") -> Descriptor:
+        proc = self.procs[op["proc"]]
+        index = op["proc"]
+        size = min(int(op.get("size", 0)), _BUFFER_BYTES)
+        opcode = op.get("opcode", "noop")
+        if opcode == "memmove" and size:
+            return make_memcpy(
+                proc.pasid, self.src[index], self.dst[index], size, self.comp_addr(index)
+            )
+        if opcode == "fill" and size:
+            return Descriptor(
+                opcode=Opcode.FILL,
+                pasid=proc.pasid,
+                src=0xA5,
+                dst=self.dst[index],
+                size=size,
+                completion_addr=self.comp_addr(index),
+            )
+        return make_noop(proc.pasid, self.comp_addr(index))
+
+    def batch(self, op: "dict[str, Any]") -> BatchDescriptor:
+        index = op["proc"]
+        proc = self.procs[index]
+        children = [
+            make_noop(proc.pasid, self.comp_addr(index))
+            for _ in range(int(op["children"]))
+        ]
+        write_batch_list(proc.space, self.lists[index], children)
+        return BatchDescriptor(
+            pasid=proc.pasid,
+            desc_list_addr=self.lists[index],
+            count=len(children),
+            completion_addr=self.comp_addr(index),
+        )
+
+
+def execute(
+    config: SoakConfig,
+    ops: "Sequence[dict[str, Any]]",
+    repro_hint: str = "",
+) -> SoakOutcome:
+    """Run *ops* on a fresh system under a monitor; never raises for
+    handled pipeline errors — only programming errors propagate."""
+    rng = _derive_rng(config.seed)
+    topology = generate_topology(rng)
+    system = CloudSystem(seed=config.seed, invariants="off")
+    monitor = InvariantMonitor(
+        mode=config.mode,
+        sample_every=config.sample_every,
+        seed=config.seed,
+        repro_hint=repro_hint,
+    )
+    monitor.attach_system(system)
+    device = system.device
+    for group_id, engine_ids in enumerate(topology["groups"]):
+        device.configure_group(group_id, engine_ids)
+    for wq in topology["wqs"]:
+        device.configure_wq(
+            WorkQueueConfig(
+                wq_id=int(wq["wq_id"]),
+                size=int(wq["size"]),
+                mode=WqMode(wq["mode"]),
+                priority=int(wq["priority"]),
+                group_id=int(wq["group"]),
+            )
+        )
+    bench = _Workbench(system, topology, config.processes)
+
+    executed = 0
+    submissions = 0
+    waits = 0
+    handled = 0
+    violation: InvariantViolation | None = None
+
+    def apply(op: "dict[str, Any]") -> None:
+        nonlocal submissions, waits
+        kind = op["kind"]
+        if kind == "advance":
+            system.clock.advance(int(op["cycles"]))
+            device.advance_to(system.clock.now)
+        elif kind == "drain":
+            device.disable_wq(int(op["wq"]))
+        elif kind == "wait":
+            if bench.pending:
+                proc, wq_id, ticket = bench.pending.pop(0)
+                waits += 1
+                bench.procs[proc].portal(wq_id).wait(
+                    ticket, timeout_cycles=WAIT_TIMEOUT_CYCLES
+                )
+        elif kind == "submit":
+            portal = bench.procs[op["proc"]].portal(int(op["wq"]))
+            ticket = portal.submit(bench.descriptor(op))
+            submissions += 1
+            bench.pending.append((op["proc"], int(op["wq"]), ticket))
+        elif kind == "batch":
+            portal = bench.procs[op["proc"]].portal(int(op["wq"]))
+            submissions += 1
+            waits += 1
+            portal.submit_wait(
+                bench.batch(op), timeout_cycles=WAIT_TIMEOUT_CYCLES
+            )
+        else:  # submit_wait
+            portal = bench.procs[op["proc"]].portal(int(op["wq"]))
+            submissions += 1
+            waits += 1
+            portal.submit_wait(
+                bench.descriptor(op), timeout_cycles=WAIT_TIMEOUT_CYCLES
+            )
+
+    def contained(step: "Callable[[], None]") -> bool:
+        """Run one step; count handled pipeline errors, let trips out."""
+        nonlocal handled
+        try:
+            step()
+        except InvariantViolation:
+            raise
+        except ReproError:
+            # Handled pipeline outcome (queue full, poll timeout,
+            # translation fault): the soak contract is "handled or
+            # detected", so a typed error is a pass for that operation
+            # and the workload continues.
+            handled += 1
+            return False
+        return True
+
+    try:
+        for op in ops:
+            contained(lambda: apply(op))
+            executed += 1
+        # Settle: drain outstanding asynchronous tickets, then run the
+        # final full audit so end-of-run state is covered too.
+        while bench.pending:
+            proc, wq_id, ticket = bench.pending.pop(0)
+            waits += 1
+            contained(
+                lambda: bench.procs[proc].portal(wq_id).wait(
+                    ticket, timeout_cycles=WAIT_TIMEOUT_CYCLES
+                )
+            )
+        monitor.check_all()
+    except InvariantViolation as exc:
+        violation = exc
+
+    return SoakOutcome(
+        ok=violation is None,
+        violation=violation,
+        ops_executed=executed,
+        submissions=submissions,
+        waits=waits,
+        handled_errors=handled,
+        events_seen=monitor.events_seen,
+        audits_run=monitor.audits_run,
+    )
+
+
+# ----------------------------------------------------------------------
+# Shrinking and the driver
+# ----------------------------------------------------------------------
+def shrink(
+    config: SoakConfig,
+    ops: "Sequence[dict[str, Any]]",
+    invariant: str,
+    budget: "int | None" = None,
+) -> "tuple[list[dict[str, Any]], int]":
+    """ddmin-lite: drop chunks of *ops* while the same *invariant* still
+    trips, within a re-execution *budget*.  Returns (minimal ops, runs)."""
+    if budget is None:
+        budget = config.shrink_budget
+    runs = 0
+
+    def still_fails(candidate: "list[dict[str, Any]]") -> bool:
+        nonlocal runs
+        runs += 1
+        outcome = execute(config, candidate)
+        return (
+            outcome.violation is not None
+            and outcome.violation.invariant == invariant
+        )
+
+    current = list(ops)
+    chunks = 2
+    while len(current) >= 2 and runs < budget:
+        size = max(1, len(current) // chunks)
+        reduced = False
+        for start in range(0, len(current), size):
+            if runs >= budget:
+                break
+            candidate = current[:start] + current[start + size :]
+            if candidate and still_fails(candidate):
+                current = candidate
+                chunks = max(2, chunks - 1)
+                reduced = True
+                break
+        if not reduced:
+            if size <= 1:
+                break
+            chunks = min(len(current), chunks * 2)
+    return current, runs
+
+
+def repro_command(config: SoakConfig) -> str:
+    """The one-command reproduction line carried into violations."""
+    return (
+        "PYTHONPATH=src python -m repro.invariants.soak"
+        f" --seed {config.seed}"
+        f" --operations {config.operations}"
+        f" --processes {config.processes}"
+        f" --mode {config.mode}"
+    )
+
+
+def run_soak(config: SoakConfig, shrink_failures: bool = True) -> SoakResult:
+    """One full soak run: generate, execute, and on failure shrink."""
+    _, ops = generate_workload(config)
+    repro = repro_command(config)
+    outcome = execute(config, ops, repro_hint=repro)
+    minimal: "tuple[dict[str, Any], ...] | None" = None
+    shrink_runs = 0
+    if outcome.violation is not None and shrink_failures:
+        reduced, shrink_runs = shrink(
+            config, ops, outcome.violation.invariant
+        )
+        minimal = tuple(reduced)
+    return SoakResult(
+        config=config,
+        outcome=outcome,
+        repro=repro,
+        minimal_ops=minimal,
+        shrink_runs=shrink_runs,
+    )
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.invariants.soak",
+        description=__doc__.split("\n\n")[0],
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base run seed")
+    parser.add_argument(
+        "--runs", type=int, default=1, help="consecutive seeds to soak"
+    )
+    parser.add_argument(
+        "--operations", type=int, default=300, help="operations per run"
+    )
+    parser.add_argument(
+        "--processes", type=int, default=3, help="guest processes per run"
+    )
+    parser.add_argument(
+        "--mode",
+        default="strict",
+        choices=("strict", "sampling", "sample"),
+        help="audit cadence for the monitor",
+    )
+    parser.add_argument(
+        "--sample-every",
+        type=int,
+        default=16,
+        help="audit period in sampling mode",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip workload shrinking on failure",
+    )
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for offset in range(args.runs):
+        config = SoakConfig(
+            seed=args.seed + offset,
+            operations=args.operations,
+            processes=args.processes,
+            mode=args.mode,
+            sample_every=args.sample_every,
+        )
+        result = run_soak(config, shrink_failures=not args.no_shrink)
+        outcome = result.outcome
+        if result.ok:
+            print(
+                f"soak seed={config.seed}: clean"
+                f" ({outcome.ops_executed} ops, {outcome.submissions} submissions,"
+                f" {outcome.handled_errors} handled errors,"
+                f" {outcome.events_seen} events, {outcome.audits_run} audits)"
+            )
+            continue
+        failures += 1
+        assert outcome.violation is not None
+        print(f"soak seed={config.seed}: INVARIANT VIOLATION")
+        print(outcome.violation.describe())
+        if result.minimal_ops is not None:
+            print(
+                f"minimal reproducer ({len(result.minimal_ops)} ops,"
+                f" {result.shrink_runs} shrink runs):"
+            )
+            print(json.dumps(list(result.minimal_ops), indent=2, sort_keys=True))
+    return EXIT_INVARIANT if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

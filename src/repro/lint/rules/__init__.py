@@ -15,6 +15,7 @@ from repro.lint.rules.det002_wallclock import WallClockChecker
 from repro.lint.rules.det003_ordering import OrderingChecker
 from repro.lint.rules.exc001_broad_except import BroadExceptChecker
 from repro.lint.rules.sim001_fault_sites import FaultSiteChecker
+from repro.lint.rules.sim002_guarded_fields import GuardedFieldChecker
 
 #: Every registered checker, in rule-id order.
 ALL_CHECKERS: tuple[type[Checker], ...] = (
@@ -24,6 +25,7 @@ ALL_CHECKERS: tuple[type[Checker], ...] = (
     OrderingChecker,
     BroadExceptChecker,
     FaultSiteChecker,
+    GuardedFieldChecker,
 )
 
 #: rule id -> checker class.
@@ -36,6 +38,7 @@ __all__ = [
     "RULES",
     "BroadExceptChecker",
     "FaultSiteChecker",
+    "GuardedFieldChecker",
     "OrderingChecker",
     "TrialKeyChecker",
     "UnseededRngChecker",

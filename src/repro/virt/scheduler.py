@@ -90,6 +90,7 @@ class Timeline:
                 self.preemptions += 1
                 self.preempted_cycles += event.magnitude_cycles
                 time += event.magnitude_cycles
+                injector.acknowledge(event, action="actor-descheduled")
                 self.run_until(time)
         self.clock.advance_to(time)
 

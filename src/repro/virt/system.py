@@ -20,6 +20,7 @@ E2     separate WQs on *separate* engines (control: no leakage)
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -69,7 +70,10 @@ class CloudSystem:
         device_config: DsaDeviceConfig | None = None,
         memory_bytes: int = 8 * GIB,
         fault_plan: FaultPlan | None = None,
+        invariants: str | None = None,
+        invariant_monitor: "object | None" = None,
     ) -> None:
+        self.seed = seed
         self.memory = PhysicalMemory(total_bytes=memory_bytes)
         self.clock = TscClock()
         self.rng = np.random.default_rng(seed)
@@ -91,11 +95,37 @@ class CloudSystem:
         self.fault_injector: FaultInjector | None = None
         if fault_plan is not None:
             self.attach_faults(fault_plan.build_injector())
+        self.invariant_monitor = None
+        if invariant_monitor is not None:
+            self.attach_invariants(invariant_monitor)
+        else:
+            # Opt-in monitoring: an explicit ``invariants=`` mode wins;
+            # otherwise the REPRO_INVARIANTS environment variable turns
+            # the monitor on globally (as scripts/run_chaos.sh does with
+            # ``strict``).  ``off``/empty leaves the hot path untouched.
+            mode = (
+                invariants
+                if invariants is not None
+                else os.environ.get("REPRO_INVARIANTS", "off")
+            )
+            if mode and mode.strip().lower() != "off":
+                from repro.invariants.monitor import InvariantMonitor
+
+                self.attach_invariants(InvariantMonitor(mode=mode))
 
     def attach_faults(self, injector: FaultInjector) -> FaultInjector:
         """Hook *injector* into the device, engines, PRS, and timeline."""
         injector.attach_system(self)
         return injector
+
+    def attach_invariants(self, monitor):
+        """Hook *monitor* into the device, DevTLB, agent, and clock.
+
+        The monitor adopts this system's seed (for replayable violation
+        reports) and installs itself as ``self.invariant_monitor``.
+        """
+        monitor.attach_system(self)
+        return monitor
 
     # ------------------------------------------------------------------
     # VM / process lifecycle

@@ -1,0 +1,193 @@
+"""The soak driver: determinism, clean runs, shrinking, and the CLI."""
+
+import pytest
+
+import repro.invariants.soak as soak
+from repro.errors import InvariantViolation
+from repro.experiments.runner import EXIT_INVARIANT
+from repro.invariants.soak import (
+    SoakConfig,
+    generate_topology,
+    generate_workload,
+    repro_command,
+    run_soak,
+    shrink,
+)
+
+pytestmark = pytest.mark.invariants
+
+
+class TestGeneration:
+    def test_workload_is_deterministic(self):
+        config = SoakConfig(seed=7, operations=100)
+        assert generate_workload(config) == generate_workload(config)
+
+    def test_different_seeds_differ(self):
+        a = generate_workload(SoakConfig(seed=1, operations=100))
+        b = generate_workload(SoakConfig(seed=2, operations=100))
+        assert a != b
+
+    def test_ops_reference_configured_queues_only(self):
+        config = SoakConfig(seed=5, operations=200, processes=4)
+        topology, ops = generate_workload(config)
+        wq_ids = {wq["wq_id"] for wq in topology["wqs"]}
+        assert len(ops) == 200
+        for op in ops:
+            if "wq" in op:
+                assert op["wq"] in wq_ids
+            if "proc" in op:
+                assert 0 <= op["proc"] < config.processes
+
+    def test_topology_within_model_bounds(self):
+        for seed in range(12):
+            topology = generate_topology(soak._derive_rng(seed))
+            assert 1 <= topology["engines"] <= 4
+            spanned = [e for group in topology["groups"] for e in group]
+            assert sorted(spanned) == list(range(topology["engines"]))
+            for wq in topology["wqs"]:
+                assert 4 <= wq["size"] <= 24
+
+
+class TestExecution:
+    def test_clean_strict_soak_on_unfaulted_model(self):
+        result = run_soak(SoakConfig(seed=1, operations=120))
+        assert result.ok
+        assert result.outcome.violation is None
+        assert result.outcome.ops_executed == 120
+        assert result.outcome.submissions > 0
+        assert result.outcome.events_seen > 0
+        # Strict mode audits at every event plus the final sweep.
+        assert result.outcome.audits_run >= result.outcome.events_seen
+
+    def test_clean_sampling_soak(self):
+        result = run_soak(
+            SoakConfig(seed=2, operations=120, mode="sampling", sample_every=16)
+        )
+        assert result.ok
+        assert 0 < result.outcome.audits_run < result.outcome.events_seen
+
+    def test_repro_command_carries_the_config(self):
+        config = SoakConfig(seed=9, operations=150, processes=2, mode="sampling")
+        command = repro_command(config)
+        assert "--seed 9" in command
+        assert "--operations 150" in command
+        assert "--processes 2" in command
+        assert "--mode sampling" in command
+        assert "repro.invariants.soak" in command
+
+    def test_violation_carries_repro_hint(self, monkeypatch):
+        """A tripped soak reports the one-command reproduction line."""
+        original = soak.execute
+
+        def tripping(config, ops, repro_hint=""):
+            outcome = original(config, ops, repro_hint=repro_hint)
+            violation = InvariantViolation(
+                message="synthetic", invariant="wq-credits",
+                seed=config.seed, repro=repro_hint,
+            )
+            return soak.SoakOutcome(
+                ok=False, violation=violation,
+                ops_executed=outcome.ops_executed,
+                submissions=outcome.submissions, waits=outcome.waits,
+                handled_errors=outcome.handled_errors,
+                events_seen=outcome.events_seen,
+                audits_run=outcome.audits_run,
+            )
+
+        monkeypatch.setattr(soak, "execute", tripping)
+        result = run_soak(SoakConfig(seed=3, operations=40), shrink_failures=False)
+        assert not result.ok
+        assert result.outcome.violation.repro == result.repro
+        assert "--seed 3" in result.repro
+
+
+class TestShrink:
+    def _shrinkable(self, monkeypatch):
+        """Fake executor: trips iff a marker op survives in the list."""
+
+        def fake_execute(config, ops, repro_hint=""):
+            tripped = any(op.get("marker") for op in ops)
+            violation = (
+                InvariantViolation(message="m", invariant="wq-credits")
+                if tripped
+                else None
+            )
+            return soak.SoakOutcome(
+                ok=not tripped, violation=violation, ops_executed=len(ops),
+                submissions=0, waits=0, handled_errors=0,
+                events_seen=0, audits_run=0,
+            )
+
+        monkeypatch.setattr(soak, "execute", fake_execute)
+
+    def test_shrinks_to_the_culprit(self, monkeypatch):
+        self._shrinkable(monkeypatch)
+        ops = [{"kind": "advance", "cycles": 1} for _ in range(63)]
+        ops.insert(40, {"kind": "advance", "cycles": 1, "marker": True})
+        config = SoakConfig(seed=0, operations=len(ops))
+        minimal, runs = shrink(config, ops, "wq-credits")
+        assert minimal == [{"kind": "advance", "cycles": 1, "marker": True}]
+        assert 0 < runs <= config.shrink_budget
+
+    def test_shrink_respects_budget(self, monkeypatch):
+        self._shrinkable(monkeypatch)
+        ops = [{"kind": "advance", "cycles": 1} for _ in range(200)]
+        ops.append({"kind": "advance", "cycles": 1, "marker": True})
+        minimal, runs = shrink(
+            SoakConfig(seed=0), ops, "wq-credits", budget=5
+        )
+        assert runs <= 5
+        assert any(op.get("marker") for op in minimal)
+
+    def test_wrong_invariant_does_not_shrink(self, monkeypatch):
+        self._shrinkable(monkeypatch)
+        ops = [{"kind": "advance", "cycles": 1, "marker": True} for _ in range(8)]
+        minimal, _runs = shrink(SoakConfig(seed=0), ops, "devtlb")
+        # The fake trips "wq-credits"; asked for "devtlb", nothing drops.
+        assert len(minimal) == len(ops)
+
+
+class TestCli:
+    def test_clean_run_exits_zero(self, capsys):
+        assert soak.main(["--seed", "4", "--operations", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_failing_run_exits_with_invariant_code(self, monkeypatch, capsys):
+        def failing(config, shrink_failures=True):
+            violation = InvariantViolation(
+                message="m", invariant="wq-credits", seed=config.seed
+            )
+            outcome = soak.SoakOutcome(
+                ok=False, violation=violation, ops_executed=1,
+                submissions=1, waits=0, handled_errors=0,
+                events_seen=1, audits_run=1,
+            )
+            return soak.SoakResult(
+                config=config, outcome=outcome,
+                repro=repro_command(config),
+                minimal_ops=({"kind": "advance", "cycles": 1},),
+                shrink_runs=3,
+            )
+
+        monkeypatch.setattr(soak, "run_soak", failing)
+        code = soak.main(["--seed", "4", "--operations", "60"])
+        assert code == EXIT_INVARIANT == 6
+        out = capsys.readouterr().out
+        assert "wq-credits" in out
+
+
+@pytest.mark.soak
+class TestLongSoak:
+    """The real budgeted soak: excluded from tier-1 (scripts/run_soak.sh)."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_strict_soak_across_seeds(self, seed):
+        result = run_soak(SoakConfig(seed=seed, operations=300))
+        assert result.ok, result.outcome.violation
+
+    def test_sampling_soak(self):
+        result = run_soak(
+            SoakConfig(seed=11, operations=400, mode="sampling", sample_every=8)
+        )
+        assert result.ok, result.outcome.violation

@@ -1,0 +1,19 @@
+# repro-lint-fixture-module: repro.dsa.wq
+"""SIM002 negative fixture: the owning module manages its own state."""
+
+from collections import deque
+
+
+class WorkQueue:
+    def __init__(self) -> None:
+        self._outstanding = 0  # owner mutates its own register
+        self._entries: deque = deque()  # declaration idiom on self
+        self.invariant_monitor = None  # declaration idiom: allowed
+
+    def try_enqueue(self, entry) -> bool:
+        self._entries.append(entry)
+        self._outstanding += 1
+        return True
+
+    def release_slot(self) -> None:
+        self._outstanding -= 1

@@ -1,0 +1,38 @@
+# repro-lint-fixture-module: repro.experiments.fixture_sim002
+"""SIM002 positive fixture: guarded-field mutations from a non-owner."""
+
+
+def tamper_occupancy(wq) -> None:
+    # _outstanding belongs to repro.dsa.wq, not this module.
+    wq._outstanding -= 1
+
+
+def forge_completion(ticket, record) -> None:
+    ticket.record = record
+
+
+def rewind_clock(clock, cycles: int) -> None:
+    clock._now = clock._now - cycles
+
+
+def evict_by_hand(sub_entry) -> None:
+    sub_entry.slots.pop()
+
+
+def scrub_queue(wq) -> None:
+    wq._entries.clear()
+
+
+def hand_wired_monitor(device, monitor) -> None:
+    device.invariant_monitor = monitor
+
+
+class UnrelatedLedger:
+    """A non-owner class declaring a same-named private attribute."""
+
+    def __init__(self) -> None:
+        # Fresh empty value on self reads as a declaration, not a
+        # mutation of monitored state (cf. CheckpointJournal._entries).
+        # Deliberately NOT in expected.json.
+        self._entries = {}
+        self.invariant_monitor = None  # declaration idiom: allowed
