@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Sharded-executor smoke test:
+#
+#   1. lint preflight (includes the PAR001 worker-closure rule),
+#   2. run a small fig09 sweep serially and again with --workers 2,
+#      byte-compare the finalized artifacts,
+#   3. run the pytest suites marked `parallel` (excluded from tier-1).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== lint preflight =="
+python -m repro.lint src
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+sweep=(fig09 --set payload_bits=256 --set runs=3)
+
+echo "== serial reference =="
+python -m repro.experiments "${sweep[@]}" --run-dir "$workdir/serial" >/dev/null
+
+echo "== 2-worker sharded run =="
+python -m repro.experiments "${sweep[@]}" --workers 2 --run-dir "$workdir/par" >/dev/null
+
+echo "== diff artifact =="
+cmp "$workdir/serial/result.pkl" "$workdir/par/result.pkl"
+echo "   sharded artifact is byte-identical to the serial run"
+
+echo "== pytest -m parallel =="
+python -m pytest tests -o addopts="" -m parallel -q "$@"
+
+echo "parallel smoke test passed"

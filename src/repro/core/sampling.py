@@ -66,34 +66,45 @@ class DevTlbSampler:
         self.timeline = timeline
         self.config = config or SamplerConfig()
 
+    def _sample_deadlines(self, samples: int) -> list[int]:
+        """Absolute probe deadlines as one numpy batch draw.
+
+        ``us_to_cycles`` returns an exact integer period, so
+        ``now + period * arange(1..n)`` is value-identical to the old
+        per-sample ``next_sample += period`` accumulation — it just
+        happens once instead of inside the probe loop.  Converted back
+        to Python ints so no numpy scalar leaks into timeline/clock
+        arithmetic.
+        """
+        period = us_to_cycles(self.config.sample_period_us)
+        deadlines = self.timeline.clock.now + period * np.arange(
+            1, samples + 1, dtype=np.int64
+        )
+        return deadlines.tolist()
+
     def collect_trace(self) -> np.ndarray:
         """One trace: per-slot DevTLB miss counts (length ``slots``)."""
         config = self.config
-        clock = self.timeline.clock
-        period = us_to_cycles(config.sample_period_us)
-        trace = np.zeros(config.slots, dtype=np.int32)
+        total = config.slots * config.samples_per_slot
         self.attack.prime()
-        next_sample = clock.now
-        for slot in range(config.slots):
-            count = 0
-            for _ in range(config.samples_per_slot):
-                next_sample += period
-                self.timeline.idle_until(next_sample)
-                if self.attack.probe().evicted:
-                    count += 1
-            trace[slot] = count
-        return trace
+        outcomes = np.empty(total, dtype=bool)
+        for i, deadline in enumerate(self._sample_deadlines(total)):
+            self.timeline.idle_until(deadline)
+            outcomes[i] = self.attack.probe().evicted
+        # Slot aggregation as one reshape+sum instead of a per-slot
+        # Python counting loop; values match the old loop exactly.
+        return (
+            outcomes.reshape(config.slots, config.samples_per_slot)
+            .sum(axis=1)
+            .astype(np.int32)
+        )
 
     def collect_events(self, samples: int) -> np.ndarray:
         """Raw per-sample observations: array of (timestamp, evicted)."""
-        clock = self.timeline.clock
-        period = us_to_cycles(self.config.sample_period_us)
         events = np.zeros((samples, 2), dtype=np.int64)
         self.attack.prime()
-        next_sample = clock.now
-        for i in range(samples):
-            next_sample += period
-            self.timeline.idle_until(next_sample)
+        for i, deadline in enumerate(self._sample_deadlines(samples)):
+            self.timeline.idle_until(deadline)
             outcome = self.attack.probe()
             events[i, 0] = outcome.timestamp
             events[i, 1] = int(outcome.evicted)
@@ -123,15 +134,16 @@ class SwqSampler:
     def collect_trace(self) -> np.ndarray:
         """One trace: per-slot contention counts (length ``slots``)."""
         config = self.config
-        trace = np.zeros(config.slots, dtype=np.int32)
-        for slot in range(config.slots):
-            count = 0
-            for _ in range(config.samples_per_slot):
-                result = self.attack.run_round(self.idle_cycles, timeline=self.timeline)
-                if result.victim_detected:
-                    count += 1
-            trace[slot] = count
-        return trace
+        total = config.slots * config.samples_per_slot
+        outcomes = np.empty(total, dtype=bool)
+        for i in range(total):
+            result = self.attack.run_round(self.idle_cycles, timeline=self.timeline)
+            outcomes[i] = result.victim_detected
+        return (
+            outcomes.reshape(config.slots, config.samples_per_slot)
+            .sum(axis=1)
+            .astype(np.int32)
+        )
 
     def collect_events(self, rounds: int) -> np.ndarray:
         """Raw per-round observations: array of (probe_timestamp, hit)."""

@@ -18,7 +18,11 @@ every trial into DIR; ``--resume DIR`` continues a previous run after
 validating its config hash; ``--deadline S`` stops cleanly before a
 wall-clock budget expires; ``--breaker-threshold N`` opens the failure
 circuit breaker after N consecutive contained failures; ``--set k=v``
-overrides a ``trial_plan`` keyword (values parsed as Python literals).
+overrides a ``trial_plan`` keyword (values parsed as Python literals);
+``--workers N`` shards the trials across N spawned processes (``--shard``
+picks the partition strategy) with output observation-equivalent to a
+serial run — a checkpointed run may even switch worker counts between
+``--run-dir`` and ``--resume`` (see docs/parallel.md).
 
 Exit codes (see :mod:`repro.experiments.runner` and docs/robustness.md):
 
@@ -62,6 +66,7 @@ from repro.experiments.checkpoint import (
     atomic_write_pickle,
     atomic_write_text,
 )
+from repro.experiments.parallel import SHARD_STRATEGIES, PlanHandle
 from repro.experiments.runner import (
     EXIT_CONFIG_MISMATCH,
     EXIT_INTERRUPTED,
@@ -116,6 +121,8 @@ def run_one(
     resume: bool = False,
     deadline: float | None = None,
     breaker_threshold: int | None = None,
+    workers: int = 1,
+    shard: str = "interleave",
 ) -> int:
     """Run one experiment under supervision; returns its exit code.
 
@@ -140,6 +147,11 @@ def run_one(
             resume=resume,
             deadline_s=deadline,
             breaker=breaker,
+            workers=workers,
+            shard_strategy=shard,
+            # Trial closures do not pickle; shard workers rebuild the
+            # plan from the module's trial_plan hook instead.
+            plan_source=PlanHandle(module.__name__, dict(overrides or {})),
         )
     except (ResumeMismatchError, CheckpointError) as exc:
         print(f"{name}: checkpoint error: {exc}", file=sys.stderr)
@@ -234,6 +246,20 @@ def main(argv: list[str] | None = None) -> int:
         metavar="KEY=VALUE",
         help="override a trial_plan keyword (literal-parsed; repeatable)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard trials across N worker processes (1 = serial; "
+        "results are identical either way)",
+    )
+    parser.add_argument(
+        "--shard",
+        choices=sorted(SHARD_STRATEGIES),
+        default="interleave",
+        help="how --workers partitions trials across processes",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -242,9 +268,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.run_dir and args.resume:
         parser.error("--run-dir starts a fresh run; --resume continues one")
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
     supervised = bool(
         args.run_dir or args.resume or args.deadline or args.overrides
-        or args.breaker_threshold is not None
+        or args.breaker_threshold is not None or args.workers > 1
     )
     if args.experiment == "all" and supervised:
         parser.error("supervision flags apply to a single experiment, not 'all'")
@@ -266,6 +294,8 @@ def main(argv: list[str] | None = None) -> int:
                 resume=bool(args.resume),
                 deadline=args.deadline,
                 breaker_threshold=args.breaker_threshold,
+                workers=args.workers,
+                shard=args.shard,
             )
         except KeyboardInterrupt:
             # In-memory runs re-raise from require_result-free paths too.

@@ -324,8 +324,15 @@ class CheckpointJournal:
         return key in self._entries
 
     def entries(self) -> Iterator[JournalEntry]:
-        """Entries in append order."""
-        return iter(self._entries.values())
+        """Entries in plan-index order.
+
+        Index order (not append order) is the canonical order: a sharded
+        parallel run journals trials as workers finish them, and sorting
+        here is what makes its journal — and everything derived from it,
+        like :func:`~repro.experiments.wf_common.dataset_from_run_dir` —
+        byte-identical to a serial run's.
+        """
+        return iter(sorted(self._entries.values(), key=lambda e: e.index))
 
     def get(self, key: str) -> JournalEntry | None:
         """The entry for *key*, if journaled."""
@@ -354,7 +361,7 @@ class CheckpointJournal:
 
     def _rewrite(self) -> None:
         lines = [
-            canonical_json(entry.to_json()) for entry in self._entries.values()
+            canonical_json(entry.to_json()) for entry in self.entries()
         ]
         atomic_write_text(self.path, "\n".join(lines) + ("\n" if lines else ""))
 
@@ -379,13 +386,31 @@ class CheckpointJournal:
         self, index: int, key: str, error: Exception, elapsed_s: float
     ) -> JournalEntry:
         """Journal a contained trial failure (no payload)."""
+        return self.record_failure_info(
+            index, key, type(error).__name__, str(error), elapsed_s=elapsed_s
+        )
+
+    def record_failure_info(
+        self,
+        index: int,
+        key: str,
+        error_type: str,
+        error: str,
+        elapsed_s: float,
+    ) -> JournalEntry:
+        """Journal a failure from its summary strings.
+
+        The sharded executor reports failures across a process boundary
+        as ``(type name, message)`` rather than exception objects; this
+        writes the same record :meth:`record_failure` would.
+        """
         entry = JournalEntry(
             index=index,
             key=key,
             status="failed",
             elapsed_s=round(elapsed_s, 6),
-            error_type=type(error).__name__,
-            error=str(error),
+            error_type=error_type,
+            error=error,
         )
         self._entries[key] = entry
         self._rewrite()

@@ -155,3 +155,10 @@ def report(result: Fig4Result) -> str:
         + f"\nCloud+Noise shift vs Local: {result.cloud_noise_shift:+.0f} cycles "
         f"(paper: ~+89)"
     )
+def plan_source(**overrides) -> "PlanHandle":
+    """Picklable factory for sharded runs: workers rebuild this module's
+    plan via ``trial_plan(**overrides)`` (see
+    :mod:`repro.experiments.parallel`)."""
+    from repro.experiments.parallel import PlanHandle
+
+    return PlanHandle(__name__, overrides)

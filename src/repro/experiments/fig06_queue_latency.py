@@ -225,3 +225,10 @@ def report(result: Fig6Result) -> str:
         f"completion monotone: {result.completion_is_monotone}; "
         f"contention threshold: {threshold_text} (paper: 2^25)"
     )
+def plan_source(**overrides) -> "PlanHandle":
+    """Picklable factory for sharded runs: workers rebuild this module's
+    plan via ``trial_plan(**overrides)`` (see
+    :mod:`repro.experiments.parallel`)."""
+    from repro.experiments.parallel import PlanHandle
+
+    return PlanHandle(__name__, overrides)

@@ -193,3 +193,10 @@ def report(result: Fig9Result) -> str:
         + f"\nSWQ peak:    {swq.true_bps / 1e3:.2f} kbps @ "
         f"{swq.error_rate * 100:.2f}% (paper: 4.02 kbps @ 13.11%)"
     )
+def plan_source(**overrides) -> "PlanHandle":
+    """Picklable factory for sharded runs: workers rebuild this module's
+    plan via ``trial_plan(**overrides)`` (see
+    :mod:`repro.experiments.parallel`)."""
+    from repro.experiments.parallel import PlanHandle
+
+    return PlanHandle(__name__, overrides)

@@ -106,3 +106,10 @@ def report(result: Fig10Result) -> str:
         lines.append(format_series(xs, ys, name))
     lines.append(f"signatures distinguishable: {result.signatures_differ}")
     return "\n".join(lines)
+def plan_source(**overrides) -> "PlanHandle":
+    """Picklable factory for sharded runs: workers rebuild this module's
+    plan via ``trial_plan(**overrides)`` (see
+    :mod:`repro.experiments.parallel`)."""
+    from repro.experiments.parallel import PlanHandle
+
+    return PlanHandle(__name__, overrides)

@@ -153,3 +153,10 @@ def report(result: Fig11Result) -> str:
     lines.append("hardest classes:")
     lines.append(format_table(["site", "recall", "test traces"], rows))
     return "\n".join(lines)
+def plan_source(**overrides) -> "PlanHandle":
+    """Picklable factory for sharded runs: workers rebuild this module's
+    plan via ``trial_plan(**overrides)`` (see
+    :mod:`repro.experiments.parallel`)."""
+    from repro.experiments.parallel import PlanHandle
+
+    return PlanHandle(__name__, overrides)

@@ -214,3 +214,10 @@ def report(result: Fig13Result) -> str:
         format_table(["model", "mean misses/slot", "peak", "active slots"], rows)
     )
     return "\n".join(lines)
+def plan_source(**overrides) -> "PlanHandle":
+    """Picklable factory for sharded runs: workers rebuild this module's
+    plan via ``trial_plan(**overrides)`` (see
+    :mod:`repro.experiments.parallel`)."""
+    from repro.experiments.parallel import PlanHandle
+
+    return PlanHandle(__name__, overrides)

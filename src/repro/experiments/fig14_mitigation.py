@@ -134,3 +134,10 @@ def report(result: Fig14Result) -> str:
         f"(paper: 15.7%), dto {result.max_overhead('dto'):.1f}% (paper: 17.9%); "
         f"shrinks with size: {result.overhead_shrinks_with_size}"
     )
+def plan_source(**overrides) -> "PlanHandle":
+    """Picklable factory for sharded runs: workers rebuild this module's
+    plan via ``trial_plan(**overrides)`` (see
+    :mod:`repro.experiments.parallel`)."""
+    from repro.experiments.parallel import PlanHandle
+
+    return PlanHandle(__name__, overrides)

@@ -153,3 +153,10 @@ def report(result: IotlbStudyResult) -> str:
         f"(configured: {result.configured_capacity}); "
         f"knee brackets configuration: {result.knee_matches_configuration}"
     )
+def plan_source(**overrides) -> "PlanHandle":
+    """Picklable factory for sharded runs: workers rebuild this module's
+    plan via ``trial_plan(**overrides)`` (see
+    :mod:`repro.experiments.parallel`)."""
+    from repro.experiments.parallel import PlanHandle
+
+    return PlanHandle(__name__, overrides)

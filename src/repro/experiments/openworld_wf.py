@@ -171,3 +171,10 @@ def report(result: OpenWorldWfResult) -> str:
         f"unmonitored: {', '.join(result.unmonitored_sites)}\n"
         + format_table(["metric", "value"], rows)
     )
+def plan_source(**overrides) -> "PlanHandle":
+    """Picklable factory for sharded runs: workers rebuild this module's
+    plan via ``trial_plan(**overrides)`` (see
+    :mod:`repro.experiments.parallel`)."""
+    from repro.experiments.parallel import PlanHandle
+
+    return PlanHandle(__name__, overrides)

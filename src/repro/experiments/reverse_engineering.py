@@ -394,3 +394,10 @@ def report(results: ReverseEngineeringResults) -> str:
         status = "reproduced" if observed else "NOT REPRODUCED"
         lines.append(f"  [{status}] {name}: {results.details[name]}")
     return "\n".join(lines)
+def plan_source(**overrides) -> "PlanHandle":
+    """Picklable factory for sharded runs: workers rebuild this module's
+    plan via ``trial_plan(**overrides)`` (see
+    :mod:`repro.experiments.parallel`)."""
+    from repro.experiments.parallel import PlanHandle
+
+    return PlanHandle(__name__, overrides)

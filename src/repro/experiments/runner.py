@@ -379,6 +379,110 @@ class RunOutcome:
         )
 
 
+def prepare_checkpoint(
+    plan: ExperimentPlan,
+    run_dir: Path,
+    resume: bool,
+) -> tuple[RunManifest, CheckpointJournal, dict[str, Any], set[str]]:
+    """Open (or resume) the checkpointed state of *run_dir* for *plan*.
+
+    Returns ``(manifest, journal, resumed_results, resumed_failed)`` with
+    the manifest already stamped ``running`` and saved.  Shared by the
+    serial loop below and the sharded executor in
+    :mod:`repro.experiments.parallel`, so both produce (and validate)
+    identical on-disk state.
+    """
+    resumed_results: dict[str, Any] = {}
+    resumed_failed: set[str] = set()
+    if resume:
+        manifest = RunManifest.load(run_dir)
+        if manifest.experiment != plan.name:
+            raise ResumeMismatchError(
+                f"run dir {run_dir} holds experiment "
+                f"{manifest.experiment!r}, not {plan.name!r}"
+            )
+        if manifest.config_hash != plan.hash:
+            raise ResumeMismatchError(
+                f"config hash mismatch resuming {run_dir}: manifest "
+                f"{manifest.config_hash[:12]}…, plan {plan.hash[:12]}… — "
+                "rerun with the original parameters or start a new run dir",
+                expected=manifest.config_hash,
+                actual=plan.hash,
+            )
+        journal = CheckpointJournal.load(run_dir)
+        for entry in journal.entries():
+            if entry.ok:
+                resumed_results[entry.key] = journal.load_payload(entry.key)
+            else:
+                # A journaled failure is not retried: trials are
+                # deterministic, so it would fail identically and a
+                # resumed run must mirror the uninterrupted one.
+                resumed_failed.add(entry.key)
+        manifest.add_segment("resume")
+    else:
+        if (run_dir / "manifest.json").exists():
+            raise CheckpointError(
+                f"{run_dir} already holds a run; pass resume=True "
+                "(--resume) to continue it or choose a fresh directory"
+            )
+        manifest = RunManifest(
+            experiment=plan.name,
+            seed=plan.seed,
+            config=plan.config,
+            config_hash=plan.hash,
+            fault_plan=fault_plan_id(plan.fault_plan),
+            git_describe=git_describe(),
+            trials_total=len(plan.trials),
+        )
+        manifest.add_segment("start")
+        journal = CheckpointJournal(run_dir)
+    manifest.status = STATUS_RUNNING
+    manifest.trials_total = len(plan.trials)
+    manifest.save(run_dir)
+    return manifest, journal, resumed_results, resumed_failed
+
+
+def resolve_finalize(
+    plan: ExperimentPlan, merged: dict[str, Any]
+) -> tuple[str, Any, Exception | None]:
+    """Run *plan.finalize* over *merged* and map the outcome to a run
+    status: ``(status, result, error)``."""
+    try:
+        result = plan.finalize(merged)
+    except InsufficientTrialsError as exc:
+        return STATUS_INSUFFICIENT, None, exc
+    except InvariantViolation as exc:
+        return STATUS_INVARIANT, None, exc
+    except ReproError as exc:
+        return STATUS_FAILED, None, exc
+    return STATUS_COMPLETED, result, None
+
+
+def insufficient_error(
+    plan: ExperimentPlan,
+    successes: int,
+    failures: Sequence[tuple[int, str, str]],
+    failed_total: int,
+    skipped: int,
+) -> InsufficientTrialsError:
+    """The standard below-floor error, with the first failures inlined.
+
+    *failures* entries are ``(index, error_type_name, message)`` — plain
+    values rather than exception objects so the sharded executor can
+    report failures that happened in another process.
+    """
+    detail = "; ".join(
+        f"trial {index}: {name}: {message}"
+        for index, name, message in list(failures)[:3]
+    )
+    return InsufficientTrialsError(
+        f"{plan.name}: {successes}/{len(plan.trials)} trials succeeded "
+        f"(needed {plan.min_successes}; {failed_total} failed, "
+        f"{skipped} breaker-skipped)"
+        f"{': ' + detail if detail else ''}"
+    )
+
+
 def run_experiment(
     plan: ExperimentPlan,
     run_dir: str | Path | None = None,
@@ -387,6 +491,9 @@ def run_experiment(
     breaker: BreakerConfig | None = None,
     catch: tuple[type[Exception], ...] = (ReproError,),
     fault_injector: Any = None,
+    workers: int = 1,
+    shard_strategy: str = "interleave",
+    plan_source: Callable[[], "ExperimentPlan"] | None = None,
 ) -> RunOutcome:
     """Execute *plan* under supervision; never raises for expected
     failure modes (they land in the returned :class:`RunOutcome`).
@@ -394,7 +501,39 @@ def run_experiment(
     With *run_dir*, the run is checkpointed and (with ``resume=True``)
     continued from a previous segment.  Without it, the run is in-memory
     only — same loop, no persistence.
+
+    With ``workers > 1`` the plan's trials are partitioned across spawned
+    worker processes by *shard_strategy* and executed by
+    :mod:`repro.experiments.parallel`; *plan_source* must then be a
+    picklable zero-argument plan factory (e.g. a
+    :class:`~repro.experiments.parallel.PlanHandle`) unless the plan
+    itself pickles.  A parallel run is observation-equivalent to this
+    serial loop: same journal, same manifest, same finalized artifact
+    (see ``docs/parallel.md``).
     """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers > 1:
+        from repro.experiments.parallel import run_parallel_experiment
+
+        if fault_injector is not None:
+            raise ValueError(
+                "parallel runs build one FaultInjector per worker from "
+                "plan.fault_plan; passing a shared fault_injector across "
+                "processes is not supported"
+            )
+        return run_parallel_experiment(
+            plan,
+            plan_source=plan_source,
+            workers=workers,
+            shard_strategy=shard_strategy,
+            run_dir=run_dir,
+            resume=resume,
+            deadline_s=deadline_s,
+            breaker=breaker,
+            catch=catch,
+        )
+
     started = monotonic_clock()
     journal: CheckpointJournal | None = None
     manifest: RunManifest | None = None
@@ -403,51 +542,9 @@ def run_experiment(
 
     if run_dir is not None:
         run_dir = Path(run_dir)
-        if resume:
-            manifest = RunManifest.load(run_dir)
-            if manifest.experiment != plan.name:
-                raise ResumeMismatchError(
-                    f"run dir {run_dir} holds experiment "
-                    f"{manifest.experiment!r}, not {plan.name!r}"
-                )
-            if manifest.config_hash != plan.hash:
-                raise ResumeMismatchError(
-                    f"config hash mismatch resuming {run_dir}: manifest "
-                    f"{manifest.config_hash[:12]}…, plan {plan.hash[:12]}… — "
-                    "rerun with the original parameters or start a new run dir",
-                    expected=manifest.config_hash,
-                    actual=plan.hash,
-                )
-            journal = CheckpointJournal.load(run_dir)
-            for entry in journal.entries():
-                if entry.ok:
-                    resumed_results[entry.key] = journal.load_payload(entry.key)
-                else:
-                    # A journaled failure is not retried: trials are
-                    # deterministic, so it would fail identically and a
-                    # resumed run must mirror the uninterrupted one.
-                    resumed_failed.add(entry.key)
-            manifest.add_segment("resume")
-        else:
-            if (run_dir / "manifest.json").exists():
-                raise CheckpointError(
-                    f"{run_dir} already holds a run; pass resume=True "
-                    "(--resume) to continue it or choose a fresh directory"
-                )
-            manifest = RunManifest(
-                experiment=plan.name,
-                seed=plan.seed,
-                config=plan.config,
-                config_hash=plan.hash,
-                fault_plan=fault_plan_id(plan.fault_plan),
-                git_describe=git_describe(),
-                trials_total=len(plan.trials),
-            )
-            manifest.add_segment("start")
-            journal = CheckpointJournal(run_dir)
-        manifest.status = STATUS_RUNNING
-        manifest.trials_total = len(plan.trials)
-        manifest.save(run_dir)
+        manifest, journal, resumed_results, resumed_failed = prepare_checkpoint(
+            plan, run_dir, resume
+        )
 
     watchdog = Watchdog(deadline_s)
     circuit = CircuitBreaker(breaker)
@@ -532,28 +629,20 @@ def run_experiment(
 
     merged = _ordered_successes(plan, resumed_results, live_results)
     if len(merged) < plan.min_successes:
-        detail = "; ".join(
-            f"trial {f.index}: {type(f.error).__name__}: {f.error}"
-            for f in live_failures[:3]
-        )
-        error = InsufficientTrialsError(
-            f"{plan.name}: {len(merged)}/{len(plan.trials)} trials succeeded "
-            f"(needed {plan.min_successes}; "
-            f"{len(live_failures) + len(resumed_failed)} failed, "
-            f"{circuit.skipped} breaker-skipped)"
-            f"{': ' + detail if detail else ''}"
+        error = insufficient_error(
+            plan,
+            successes=len(merged),
+            failures=[
+                (f.index, type(f.error).__name__, str(f.error))
+                for f in live_failures
+            ],
+            failed_total=len(live_failures) + len(resumed_failed),
+            skipped=circuit.skipped,
         )
         return _finish(STATUS_INSUFFICIENT, error=error)
 
-    try:
-        result = plan.finalize(merged)
-    except InsufficientTrialsError as exc:
-        return _finish(STATUS_INSUFFICIENT, error=exc)
-    except InvariantViolation as exc:
-        return _finish(STATUS_INVARIANT, error=exc)
-    except ReproError as exc:
-        return _finish(STATUS_FAILED, error=exc)
-    return _finish(STATUS_COMPLETED, result=result)
+    status, result, error = resolve_finalize(plan, merged)
+    return _finish(status, result=result, error=error)
 
 
 def execute_plan(plan: ExperimentPlan, **supervision: Any) -> Any:

@@ -317,3 +317,10 @@ def report(result: Table3Result) -> str:
         "Table III — noise impact\n" + table +
         f"\nall noisy measurements within the quiet-local CI: {result.all_within_ci}"
     )
+def plan_source(**overrides) -> "PlanHandle":
+    """Picklable factory for sharded runs: workers rebuild this module's
+    plan via ``trial_plan(**overrides)`` (see
+    :mod:`repro.experiments.parallel`)."""
+    from repro.experiments.parallel import PlanHandle
+
+    return PlanHandle(__name__, overrides)

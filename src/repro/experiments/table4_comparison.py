@@ -192,3 +192,10 @@ def report(result: Table4Result) -> str:
         "Table IV — comparison to prior attacks\n" + table +
         f"\nDevTLB channel fastest covert channel: {result.devtlb_fastest_covert}"
     )
+def plan_source(**overrides) -> "PlanHandle":
+    """Picklable factory for sharded runs: workers rebuild this module's
+    plan via ``trial_plan(**overrides)`` (see
+    :mod:`repro.experiments.parallel`)."""
+    from repro.experiments.parallel import PlanHandle
+
+    return PlanHandle(__name__, overrides)

@@ -24,14 +24,14 @@ import numpy as np
 from repro.analysis.datasets import TraceDataset
 from repro.core.devtlb_attack import DsaDevTlbAttack
 from repro.core.sampling import DevTlbSampler, SamplerConfig
-from repro.errors import InsufficientTrialsError
+from repro.errors import ConfigurationError, InsufficientTrialsError
 from repro.experiments.checkpoint import CheckpointJournal, RunManifest
-from repro.experiments.guard import run_guarded_trials
-from repro.experiments.runner import TrialSpec
+from repro.experiments.parallel import PlanHandle
+from repro.experiments.runner import ExperimentPlan, TrialSpec, execute_plan
 from repro.hw.noise import Environment
 from repro.virt.system import AttackTopology, CloudSystem
 from repro.workloads.vpp import VppVictim
-from repro.workloads.websites import WebsiteProfile
+from repro.workloads.websites import WebsiteProfile, top_sites
 
 
 @dataclass(frozen=True)
@@ -154,12 +154,92 @@ def assemble_website_dataset(
     return np.stack(traces), np.array(labels)
 
 
+def website_dataset_plan(
+    profiles: list[WebsiteProfile],
+    visits_per_site: int,
+    settings: WfSamplerSettings | None = None,
+    seed: int = 1000,
+    environment: Environment = Environment.LOCAL,
+) -> ExperimentPlan:
+    """A dataset sweep as a supervised plan: one trial per (site, visit),
+    finalized into the ``(x, y)`` arrays.
+
+    The per-trial seeds match :func:`website_visit_trials`' global
+    enumeration, so checkpointed, resumed, serial, and sharded runs of
+    the same plan all produce the same arrays.
+    """
+    settings = settings or WfSamplerSettings()
+    trials = website_visit_trials(
+        profiles, visits_per_site, settings, seed, environment
+    )
+    return ExperimentPlan(
+        name="wf-dataset",
+        seed=seed,
+        config={
+            "sites": [profile.name for profile in profiles],
+            "visits_per_site": visits_per_site,
+            "sample_period_us": settings.sample_period_us,
+            "samples_per_slot": settings.samples_per_slot,
+            "slots": settings.slots,
+            "seed": seed,
+            "environment": environment.value,
+        },
+        trials=tuple(trials),
+        finalize=lambda results: assemble_website_dataset(
+            profiles, visits_per_site, results
+        ),
+    )
+
+
+def trial_plan(
+    sites: int | list[str] = 5,
+    visits_per_site: int = 4,
+    sample_period_us: float = 50.0,
+    samples_per_slot: int = 80,
+    slots: int = 250,
+    seed: int = 1000,
+    environment: str = "local",
+) -> ExperimentPlan:
+    """:func:`website_dataset_plan` from picklable primitives only.
+
+    This is the hook a :class:`~repro.experiments.parallel.PlanHandle`
+    rebuilds in shard workers: *sites* is a count (the first N of
+    :func:`~repro.workloads.websites.top_sites`) or a list of catalog
+    site names, *environment* an :class:`~repro.hw.noise.Environment`
+    value string.
+    """
+    if isinstance(sites, int):
+        profiles = top_sites(sites)
+    else:
+        catalog = {profile.name: profile for profile in top_sites(100)}
+        missing = [name for name in sites if name not in catalog]
+        if missing:
+            raise ConfigurationError(
+                f"unknown site name(s) {missing}; choose from the "
+                "top_sites catalog"
+            )
+        profiles = [catalog[name] for name in sites]
+    return website_dataset_plan(
+        profiles,
+        visits_per_site,
+        WfSamplerSettings(
+            sample_period_us=sample_period_us,
+            samples_per_slot=samples_per_slot,
+            slots=slots,
+        ),
+        seed=seed,
+        environment=Environment(environment),
+    )
+
+
 def collect_website_dataset(
     profiles: list[WebsiteProfile],
     visits_per_site: int,
     settings: WfSamplerSettings | None = None,
     seed: int = 1000,
     environment: Environment = Environment.LOCAL,
+    workers: int = 1,
+    shard_strategy: str = "interleave",
 ) -> tuple[np.ndarray, np.ndarray]:
     """Traces and labels for a list of sites.
 
@@ -168,28 +248,42 @@ def collect_website_dataset(
     faults) is dropped rather than aborting the dataset; a site losing
     *every* visit raises
     :class:`~repro.errors.InsufficientTrialsError`.
+
+    With ``workers > 1`` the visits run sharded across processes
+    (observation-equivalent to serial; see docs/parallel.md).  The
+    profiles must then come from the :func:`top_sites` catalog so the
+    workers can rebuild the plan by name.
     """
     settings = settings or WfSamplerSettings()
-    results: dict[str, np.ndarray] = {}
-    for label, profile in enumerate(profiles):
-        specs = website_visit_trials(
-            [profile], visits_per_site, settings, seed + label * 10_000,
-            environment,
+    plan = website_dataset_plan(
+        profiles, visits_per_site, settings, seed, environment
+    )
+    plan_source = None
+    if workers > 1:
+        catalog = {profile.name: profile for profile in top_sites(100)}
+        alien = [p.name for p in profiles if catalog.get(p.name) != p]
+        if alien:
+            raise ConfigurationError(
+                f"profiles {alien} are not top_sites catalog entries; "
+                "sharded workers rebuild the plan by site name — run "
+                "serially or supply your own plan via run_experiment"
+            )
+        plan_source = PlanHandle(
+            __name__,
+            {
+                "sites": [profile.name for profile in profiles],
+                "visits_per_site": visits_per_site,
+                "sample_period_us": settings.sample_period_us,
+                "samples_per_slot": settings.samples_per_slot,
+                "slots": settings.slots,
+                "seed": seed,
+                "environment": environment.value,
+            },
         )
-        # Per-profile seed base must match the all-profiles enumeration:
-        # website_visit_trials offsets by the *local* label (0 here), so
-        # shift the base seed by the global label instead.
-        guarded = run_guarded_trials(
-            [spec.fn for spec in specs],
-            min_successes=1,
-            label=f"site {profile.name!r}",
-        )
-        survivors = iter(guarded.results)
-        failed_indices = {failure.index for failure in guarded.failures}
-        for visit in range(visits_per_site):
-            if visit not in failed_indices:
-                results[visit_trial_key(profile.name, visit)] = next(survivors)
-    return assemble_website_dataset(profiles, visits_per_site, results)
+    return execute_plan(
+        plan, workers=workers, shard_strategy=shard_strategy,
+        plan_source=plan_source,
+    )
 
 
 def dataset_from_run_dir(

@@ -16,6 +16,8 @@ added without wiring :meth:`FaultInjector.acknowledge` at its effect
 point fails here before it can silently rot a chaos figure.
 """
 
+import functools
+
 import pytest
 
 from repro.dsa.descriptor import make_memcpy, make_noop
@@ -24,7 +26,9 @@ from repro.errors import (
     ReproError,
     UnhandledFaultError,
 )
+from repro.experiments.checkpoint import CheckpointJournal
 from repro.experiments.guard import _unacknowledged, run_guarded_trials
+from repro.experiments.runner import ExperimentPlan, TrialSpec, run_experiment
 from repro.faults import FaultPlan, FaultSite
 from repro.faults.sites import DEVICE_SITES, TIMELINE_SITES
 from repro.hw.clock import TscClock
@@ -258,3 +262,198 @@ class TestChaosSoakComposition:
         assert injector.total_fired > 0
         assert not _unacknowledged(injector)
         monitor.check_all()
+
+# ----------------------------------------------------------------------
+# The matrix under the sharded executor
+# ----------------------------------------------------------------------
+# These trial functions are module-level so spawn workers can rebuild the
+# plan (the factory pickles by reference).  Inside a worker the injector
+# comes from the per-process ``current_fault_injector()``, built from the
+# plan's ``fault_plan`` — the audit therefore stays inside the shard that
+# fired the fault.
+
+
+def _parallel_device_trial() -> dict:
+    """The device-site workload of ``_run_device_site``, shard-resident."""
+    from repro.experiments.parallel import current_fault_injector
+
+    injector = current_fault_injector()
+    assert injector is not None, "must run under the sharded executor"
+    host, monitor = _monitored_host()
+    injector.attach_device(host.device)
+    proc = host.new_process()
+    src = proc.buffer(4096)
+    dst = proc.buffer(4096)
+    comp = proc.comp_record()
+    handled = 0
+    last_error: ReproError | None = None
+    for _ in range(3):
+        try:
+            proc.portal.submit_wait(
+                make_memcpy(proc.pasid, src, dst, 256, comp),
+                timeout_cycles=500_000,
+            )
+        except ReproError as exc:
+            handled += 1
+            last_error = exc
+    monitor.check_all()
+    gaps = _unacknowledged(injector)
+    if gaps and last_error is not None:
+        # The fault surfaced on the error path: re-raise it so the merged
+        # journal records the *typed* handled outcome (the serial matrix's
+        # "no gaps or handled > 0" arm).
+        raise last_error
+    return {"fired": injector.total_fired, "handled": handled, "gaps": gaps}
+
+
+def _parallel_prs_trial() -> dict:
+    """PRS_DROP cell: a faulting walk under drop, shard-resident."""
+    from repro.dsa.completion import CompletionStatus
+    from repro.experiments.parallel import current_fault_injector
+
+    injector = current_fault_injector()
+    assert injector is not None, "must run under the sharded executor"
+    host, monitor = _monitored_host()
+    injector.attach_device(host.device)
+    host.device.prs.set_handler(lambda pasid, va, write: True)
+    proc = host.new_process()
+    src = proc.buffer(4096)
+    dst = proc.buffer(4096)
+    comp = proc.comp_record()
+    proc.space.unmap(src)
+    ticket = proc.portal.submit_wait(
+        make_memcpy(proc.pasid, src, dst, 256, comp),
+        timeout_cycles=500_000,
+    )
+    monitor.check_all()
+    handled = 1 if ticket.record.status is CompletionStatus.PAGE_FAULT else 0
+    return {
+        "fired": injector.total_fired,
+        "handled": handled,
+        "gaps": _unacknowledged(injector),
+    }
+
+
+def _parallel_preemption_trial() -> dict:
+    """PREEMPTION cell: idle a timeline under the shard's injector."""
+    from repro.experiments.parallel import current_fault_injector
+
+    injector = current_fault_injector()
+    assert injector is not None, "must run under the sharded executor"
+    clock = TscClock()
+    timeline = Timeline(clock)
+    injector.attach_timeline(timeline)
+    timeline.idle_until(50_000)
+    return {
+        "fired": injector.total_fired,
+        "handled": timeline.preemptions,
+        "gaps": _unacknowledged(injector),
+    }
+
+
+_PARALLEL_SITE_KWARGS = {
+    **DEVICE_MATRIX,
+    FaultSite.PREEMPTION: {"magnitude_cycles": 5_000},
+}
+
+
+def _passthrough_finalize(results: dict) -> dict:
+    return dict(results)
+
+
+def _parallel_matrix_plan(site_value: str) -> ExperimentPlan:
+    """A two-trial plan (one per shard at ``workers=2``) injecting one
+    site at probability 1.0 via the plan's own fault plan."""
+    site = FaultSite(site_value)
+    if site is FaultSite.PRS_DROP:
+        fn = _parallel_prs_trial
+    elif site is FaultSite.PREEMPTION:
+        fn = _parallel_preemption_trial
+    else:
+        fn = _parallel_device_trial
+    return ExperimentPlan(
+        name=f"chaos-parallel-{site.value}",
+        seed=5,
+        config={"site": site.value, "workers": 2},
+        trials=(
+            TrialSpec(key=f"{site.value}/shard/0", fn=fn),
+            TrialSpec(key=f"{site.value}/shard/1", fn=fn),
+        ),
+        finalize=_passthrough_finalize,
+        min_successes=0,
+        fault_plan=FaultPlan(seed=5).with_site(
+            site, probability=1.0, **_PARALLEL_SITE_KWARGS.get(site, {})
+        ),
+    )
+
+
+def _absorbing_trial() -> str:
+    """Fires the shard injector's stall and never acknowledges it."""
+    from repro.experiments.parallel import current_fault_injector
+
+    injector = current_fault_injector()
+    injector.fire(FaultSite.ENGINE_STALL, timestamp=0, engine_id=0)
+    return "looks fine"
+
+
+def _absorbing_plan() -> ExperimentPlan:
+    return ExperimentPlan(
+        name="chaos-parallel-absorbed",
+        seed=5,
+        config={"case": "absorbed"},
+        trials=(TrialSpec(key="absorbed/0", fn=_absorbing_trial),),
+        finalize=_passthrough_finalize,
+        min_successes=0,
+        fault_plan=FaultPlan(seed=5).with_site(
+            FaultSite.ENGINE_STALL, probability=1.0
+        ),
+    )
+
+
+@pytest.mark.parallel
+class TestParallelFaultMatrix:
+    """The handled-or-detected contract holds across the process
+    boundary: every site fired inside a 2-worker sharded run either
+    surfaces as a typed journaled outcome or fails its trial — never a
+    green trial over an unacknowledged ledger."""
+
+    @pytest.mark.parametrize("site", sorted(FaultSite, key=lambda s: s.value))
+    def test_site_is_handled_or_detected_in_sharded_run(self, site, tmp_path):
+        run_experiment(
+            _parallel_matrix_plan(site.value),
+            run_dir=tmp_path,
+            workers=2,
+            plan_source=functools.partial(_parallel_matrix_plan, site.value),
+        )
+        journal = CheckpointJournal.load(tmp_path)
+        entries = list(journal.entries())
+        assert len(entries) == 2, "both shards must journal their trial"
+        for entry in entries:
+            if entry.ok:
+                payload = journal.load_payload(entry.key)
+                assert payload["fired"] >= 1, (
+                    f"{site.value} never fired in {entry.key}"
+                )
+                assert not payload["gaps"], (
+                    f"{site.value} passed {entry.key} with an "
+                    f"unacknowledged ledger {payload['gaps']}"
+                )
+            else:
+                # This workload cannot fail without injection, so a typed
+                # failure *is* evidence the site fired and was detected.
+                assert entry.error_type, f"untyped failure in {entry.key}"
+
+    def test_absorbed_worker_fault_fails_trial_in_merged_journal(
+        self, tmp_path
+    ):
+        outcome = run_experiment(
+            _absorbing_plan(),
+            run_dir=tmp_path,
+            workers=2,
+            plan_source=_absorbing_plan,
+        )
+        assert outcome.failed == 1
+        entry = CheckpointJournal.load(tmp_path).get("absorbed/0")
+        assert entry is not None and not entry.ok
+        assert entry.error_type == "UnhandledFaultError"
+        assert "absorbed" in (entry.error or "")

@@ -1,0 +1,242 @@
+"""Serial ≡ sharded equivalence: a plan run with ``workers=N`` must leave
+the same observable artifact as the serial loop — same finalized result
+bytes, same journal entries and payload pickles, same manifest counts.
+
+The fig09 cases (3 trials) run in tier-1, including a kill-at-trial-k
+plus resume-with-a-different-worker-count round trip.  The wider sweeps
+(4 workers, table3, fig11 with dataset checksums) are marked
+``parallel`` (run via ``scripts/run_parallel_smoke.sh`` or
+``pytest -m parallel``).
+
+Comparison notes: manifest ``segments`` carry pids and wall-clock
+timestamps and journal records carry per-trial ``elapsed_s``, so those
+fields are masked; journal records are compared sorted by trial index
+because the parallel parent appends them in completion order (the
+*entries* are identical — see ``CheckpointJournal.entries``).
+"""
+
+import functools
+import json
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.datasets import _content_sha256
+from repro.experiments import fig09_covert, fig11_wf_classification, table3_noise
+from repro.experiments.checkpoint import (
+    JOURNAL_NAME,
+    MANIFEST_NAME,
+    STATUS_COMPLETED,
+    STATUS_INTERRUPTED,
+    RunManifest,
+)
+from repro.experiments.runner import ExperimentPlan, TrialSpec, run_experiment
+from repro.experiments.wf_common import WfSamplerSettings, dataset_from_run_dir
+
+FIG09_CONFIG = {
+    "payload_bits": 48,
+    "runs": 1,
+    "devtlb_windows": (50.0, 100.0),
+    "swq_windows": (50.0,),
+}
+
+TABLE3_CONFIG = {
+    "repeats": 2,
+    "covert_bits": 24,
+    "keystrokes": 8,
+    "wf_sites": 2,
+    "wf_visits": 2,
+    "llm_traces": 2,
+    "llm_models": 2,
+}
+
+FIG11_CONFIG = {
+    "sites": 3,
+    "visits_per_site": 2,
+    "settings": WfSamplerSettings(
+        sample_period_us=100.0, samples_per_slot=8, slots=30
+    ),
+    "epochs": 3,
+    "hidden": 4,
+}
+
+
+def _fig09_plan() -> ExperimentPlan:
+    return fig09_covert.trial_plan(**FIG09_CONFIG)
+
+
+def _boom() -> None:
+    raise KeyboardInterrupt
+
+
+def _interrupted_fig09_plan(k: int) -> ExperimentPlan:
+    """The fig09 plan with trial *k* dying mid-run.  Module-level (and
+    built via :func:`functools.partial`) so it pickles into spawn
+    workers as the plan source of the killed parallel run."""
+    plan = _fig09_plan()
+    return ExperimentPlan(
+        name=plan.name,
+        seed=plan.seed,
+        config=plan.config,
+        trials=tuple(
+            TrialSpec(key=spec.key, fn=_boom if index == k else spec.fn)
+            for index, spec in enumerate(plan.trials)
+        ),
+        finalize=plan.finalize,
+        min_successes=plan.min_successes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Artifact comparison helpers
+# ----------------------------------------------------------------------
+def _manifest_fields(run_dir: Path, drop: tuple[str, ...]) -> dict:
+    data = json.loads((Path(run_dir) / MANIFEST_NAME).read_text())
+    for field in ("segments",) + drop:
+        data.pop(field, None)
+    return data
+
+
+def _journal_records(run_dir: Path) -> list[dict]:
+    records = [
+        json.loads(line)
+        for line in (Path(run_dir) / JOURNAL_NAME).read_text().splitlines()
+        if line
+    ]
+    for record in records:
+        record.pop("elapsed_s", None)
+    return sorted(records, key=lambda record: record["index"])
+
+
+def _payload_bytes(run_dir: Path) -> dict[str, bytes]:
+    return {
+        path.name: path.read_bytes()
+        for path in sorted((Path(run_dir) / "trials").glob("*.pkl"))
+    }
+
+
+def _assert_same_artifact(
+    serial_dir: Path, parallel_dir: Path, drop: tuple[str, ...] = ()
+) -> None:
+    assert _manifest_fields(parallel_dir, drop) == _manifest_fields(
+        serial_dir, drop
+    ), "manifests diverge"
+    assert _journal_records(parallel_dir) == _journal_records(
+        serial_dir
+    ), "journal entries diverge"
+    assert _payload_bytes(parallel_dir) == _payload_bytes(
+        serial_dir
+    ), "payload pickles diverge"
+
+
+def _dumps(obj) -> bytes:
+    return pickle.dumps(obj, protocol=4)
+
+
+def _assert_parallel_matches_serial(
+    plan_factory, plan_source, tmp_path, workers, shard="interleave"
+):
+    serial_dir = tmp_path / "serial"
+    parallel_dir = tmp_path / f"w{workers}-{shard}"
+    serial = run_experiment(plan_factory(), run_dir=serial_dir)
+    parallel = run_experiment(
+        plan_factory(),
+        run_dir=parallel_dir,
+        workers=workers,
+        shard_strategy=shard,
+        plan_source=plan_source,
+    )
+    assert serial.status == STATUS_COMPLETED
+    assert parallel.status == STATUS_COMPLETED
+    assert parallel.completed == serial.completed
+    assert parallel.failed == serial.failed
+    assert _dumps(parallel.result) == _dumps(serial.result)
+    _assert_same_artifact(serial_dir, parallel_dir)
+    return serial_dir, parallel_dir
+
+
+class TestFig09Parallel:
+    def test_two_workers_match_serial_byte_for_byte(self, tmp_path):
+        _assert_parallel_matches_serial(
+            _fig09_plan,
+            fig09_covert.plan_source(**FIG09_CONFIG),
+            tmp_path,
+            workers=2,
+        )
+
+    def test_contiguous_sharding_matches_serial(self, tmp_path):
+        _assert_parallel_matches_serial(
+            _fig09_plan,
+            fig09_covert.plan_source(**FIG09_CONFIG),
+            tmp_path,
+            workers=2,
+            shard="contiguous",
+        )
+
+    def test_kill_and_resume_across_worker_counts(self, tmp_path):
+        """Kill a 2-worker run at trial 1, resume it with 3 workers, and
+        compare against an uninterrupted serial run."""
+        serial_dir = tmp_path / "serial"
+        reference = run_experiment(_fig09_plan(), run_dir=serial_dir)
+
+        run_dir = tmp_path / "killed"
+        interrupted = run_experiment(
+            _interrupted_fig09_plan(1),
+            run_dir=run_dir,
+            workers=2,
+            plan_source=functools.partial(_interrupted_fig09_plan, 1),
+        )
+        assert interrupted.status == STATUS_INTERRUPTED
+        assert interrupted.completed < len(reference.plan.trials)
+
+        resumed = run_experiment(
+            _fig09_plan(),
+            run_dir=run_dir,
+            resume=True,
+            workers=3,
+            plan_source=fig09_covert.plan_source(**FIG09_CONFIG),
+        )
+        assert resumed.status == STATUS_COMPLETED
+        assert resumed.resumed == interrupted.completed
+        assert _dumps(resumed.result) == _dumps(reference.result)
+        # ``resumed`` counts trials inherited from the killed segment, so
+        # it legitimately differs from the single-segment reference.
+        _assert_same_artifact(serial_dir, run_dir, drop=("resumed",))
+        manifest = RunManifest.load(run_dir)
+        assert [s["event"] for s in manifest.segments] == ["start", "resume"]
+
+
+@pytest.mark.parallel
+class TestParallelSweeps:
+    def test_fig09_four_workers(self, tmp_path):
+        _assert_parallel_matches_serial(
+            _fig09_plan,
+            fig09_covert.plan_source(**FIG09_CONFIG),
+            tmp_path,
+            workers=4,
+        )
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_table3_cross_experiment_sweep(self, tmp_path, workers):
+        _assert_parallel_matches_serial(
+            lambda: table3_noise.trial_plan(**TABLE3_CONFIG),
+            table3_noise.plan_source(**TABLE3_CONFIG),
+            tmp_path,
+            workers=workers,
+        )
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_fig11_dataset_checksums_match(self, tmp_path, workers):
+        serial_dir, parallel_dir = _assert_parallel_matches_serial(
+            lambda: fig11_wf_classification.trial_plan(**FIG11_CONFIG),
+            fig11_wf_classification.plan_source(**FIG11_CONFIG),
+            tmp_path,
+            workers=workers,
+        )
+        serial_ds = dataset_from_run_dir(serial_dir)
+        parallel_ds = dataset_from_run_dir(parallel_dir)
+        assert _content_sha256(
+            parallel_ds.traces, parallel_ds.labels
+        ) == _content_sha256(serial_ds.traces, serial_ds.labels)
+        assert parallel_ds.class_names == serial_ds.class_names

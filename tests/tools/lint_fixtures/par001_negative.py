@@ -1,0 +1,38 @@
+# repro-lint-fixture-module: repro.experiments.fixture_par001_ok
+"""PAR001 negative fixture: self-contained, shard-safe trial closures."""
+
+import functools
+
+from repro.experiments.runner import TrialSpec
+
+
+def default_rebinding_idiom(windows, seed):
+    specs = []
+    for window in windows:
+        specs.append(
+            TrialSpec(key=f"w/{window}", fn=lambda window=window: run(window, seed))
+        )
+    return specs
+
+
+def immutable_parameter_reads(windows, settings):
+    # `settings` is never mutated or loop-bound: reading it free is fine.
+    return [
+        TrialSpec(key=f"w/{w}", fn=lambda w=w: collect(w, settings))
+        for w in windows
+    ]
+
+
+def module_level_callable(windows):
+    return [TrialSpec(key=f"w/{w}", fn=functools.partial(run, w)) for w in windows]
+
+
+def local_def_with_defaults(windows):
+    specs = []
+    for window in windows:
+
+        def fn(window=window):
+            return run(window)
+
+        specs.append(TrialSpec(key=f"w/{window}", fn=fn))
+    return specs

@@ -1,0 +1,39 @@
+# repro-lint-fixture-module: repro.experiments.fixture_par001
+"""PAR001 positive fixture: trial closures capturing mutable state."""
+
+from repro.experiments.runner import TrialSpec
+
+
+def late_bound_loop_variable(windows):
+    specs = []
+    for window in windows:
+        specs.append(TrialSpec(key=f"w/{window}", fn=lambda: run(window)))
+    return specs
+
+
+def mutated_counter_capture(windows):
+    specs = []
+    attempt = 0
+    for window in windows:
+        attempt += 1
+        specs.append(
+            TrialSpec(key=f"w/{window}", fn=lambda w=window: run(w, attempt))
+        )
+    return specs
+
+
+def shared_accumulator_capture(windows):
+    shared = []
+
+    def fn():
+        shared.append(observe())
+        return shared
+
+    return [TrialSpec(key="agg", fn=fn)]
+
+
+def positional_fn_argument(windows):
+    specs = []
+    for window in windows:
+        specs.append(TrialSpec(f"w/{window}", lambda: run(window)))
+    return specs
