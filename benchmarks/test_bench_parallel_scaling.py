@@ -30,6 +30,13 @@ TARGET_SPEEDUP_AT_4 = 2.5
 #: fixed interpreter-startup allowance.
 OVERHEAD_FACTOR = 2.5
 OVERHEAD_ALLOWANCE_S = 10.0
+#: Hard ceiling on wall_clock(4 workers) / wall_clock(serial) when the
+#: machine has a single CPU — the pure price of spawning four worker
+#: interpreters that then time-slice one core.  Measured ~5.4x in the
+#: reference container; regressions (e.g. heavier worker imports or
+#: per-shard re-initialization) push it up long before they would trip
+#: the allowance-padded limit above.
+SPAWN_OVERHEAD_RATIO_LIMIT = 8.0
 
 BENCH_PATH = Path(
     os.environ.get(
@@ -62,6 +69,7 @@ def test_bench_parallel_scaling():
         )
 
     speedup = {w: timings[1] / timings[w] for w in WORKER_COUNTS}
+    spawn_overhead_ratio = timings[4] / timings[1]
     record = {
         "experiment": "fig09_covert",
         "config": FIG09_CONFIG,
@@ -72,6 +80,9 @@ def test_bench_parallel_scaling():
         },
         "target_speedup_at_4_workers": TARGET_SPEEDUP_AT_4,
         "target_enforced": cpus >= 4,
+        "spawn_overhead_ratio": round(spawn_overhead_ratio, 3),
+        "spawn_overhead_ratio_limit": SPAWN_OVERHEAD_RATIO_LIMIT,
+        "spawn_overhead_enforced": cpus == 1,
         "artifacts_identical_across_worker_counts": True,
     }
     BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
@@ -90,3 +101,8 @@ def test_bench_parallel_scaling():
             f"sharding overhead out of bounds on {cpus} CPU(s): "
             f"{timings[4]:.2f}s at 4 workers vs limit {limit:.2f}s"
         )
+        if cpus == 1:
+            assert spawn_overhead_ratio <= SPAWN_OVERHEAD_RATIO_LIMIT, (
+                f"spawn overhead ratio {spawn_overhead_ratio:.2f}x exceeds "
+                f"the {SPAWN_OVERHEAD_RATIO_LIMIT}x single-CPU ceiling"
+            )

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Run the coverage-guided fuzzer's smoke suite (docs/fuzzing.md).
+#
+# Order matters: the FUZ001 lint preflight runs first, because an
+# unseeded draw anywhere in repro.fuzz silently voids every determinism
+# guarantee the campaign tests then appear to certify.  After the
+# fuzz-marked pytest scenarios, a short seeded campaign runs end to end
+# and writes its report under FUZZ_DIR.
+#
+#   FUZZ_TRIALS=500 FUZZ_SEED=3 scripts/run_fuzz_smoke.sh
+#   scripts/run_fuzz_smoke.sh -- --seed 7 --trials 1000 --fault-rate 0.01
+#
+# Exit code 7 (EXIT_FINDINGS) means the campaign found a contract
+# violation; the shrunken reproducer and its one-command replay line are
+# printed and persisted under FUZZ_DIR/findings/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+FUZZ_SEED="${FUZZ_SEED:-0}"
+FUZZ_TRIALS="${FUZZ_TRIALS:-150}"
+FUZZ_DIR="${FUZZ_DIR:-fuzz-campaign}"
+
+# Lint preflight: the fuzzer's own RNG-hygiene rule (plus the rest).
+python -m repro.lint src/repro/fuzz
+
+# The fuzz-marked pytest scenarios (excluded from tier-1).
+python -m pytest tests/fuzz -o addopts="" -m fuzz -q
+
+if [[ "${1:-}" == "--" ]]; then
+    shift
+    exec python -m repro.fuzz "$@"
+fi
+
+exec python -m repro.fuzz \
+    --seed "$FUZZ_SEED" \
+    --trials "$FUZZ_TRIALS" \
+    --dir "$FUZZ_DIR" \
+    "$@"

@@ -53,6 +53,9 @@ class TranslationAgent:
         self.prs = prs or PageRequestService()
         self.walks = 0
         self.invariant_monitor = None
+        #: Optional ``(site, token)`` callback installed by the fuzzer's
+        #: coverage map (:meth:`repro.fuzz.coverage.CoverageMap.install`).
+        self.coverage_probe = None
 
     def translate(
         self, pasid: int, virtual_address: int, write: bool = False, timestamp: int = 0
@@ -70,6 +73,8 @@ class TranslationAgent:
         cycles = self.iotlb.lookup_cycles
         frame = self.iotlb.lookup(pasid, vpn)
         if frame is not None:
+            if self.coverage_probe is not None:
+                self.coverage_probe("ats.translate", "iotlb-hit")
             pa = (frame << PAGE_SHIFT) | (virtual_address & (PAGE_SIZE - 1))
             return TranslationResult(physical_address=pa, cycles=cycles, iotlb_hit=True)
 
@@ -78,8 +83,12 @@ class TranslationAgent:
         self.walks += 1
         try:
             pa = space.translate(virtual_address, write=write)
+            if self.coverage_probe is not None:
+                self.coverage_probe("ats.translate", "walk")
         except TranslationFault:
             faulted = True
+            if self.coverage_probe is not None:
+                self.coverage_probe("ats.translate", "prs-retry")
             cycles += self.prs.report(pasid, virtual_address, write, timestamp)
             cycles += space.walk_cycles
             self.walks += 1

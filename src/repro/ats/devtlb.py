@@ -35,6 +35,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.faults.canary import CANARY_DEVTLB_EVICT, canary_active
+
 
 class FieldType(enum.Enum):
     """The five descriptor fields that own DevTLB sub-entries (Fig. 3)."""
@@ -123,6 +125,20 @@ class DevTlb:
         self.stats = DevTlbStats()
         self._per_engine: dict[int, DevTlbStats] = {}
         self.invariant_monitor = None
+        #: Optional ``(site, token)`` callback installed by the fuzzer's
+        #: coverage map (:meth:`repro.fuzz.coverage.CoverageMap.install`).
+        self.coverage_probe = None
+
+    def _evict_limit(self) -> int:
+        """Slot count at which a miss evicts the sub-entry's LRU slot."""
+        limit = self.config.slots_per_subentry
+        if canary_active(CANARY_DEVTLB_EVICT):
+            # Seeded canary bug (REPRO_FUZZ_CANARY=devtlb-evict): the
+            # eviction check runs one slot too late, letting a sub-entry
+            # exceed its associativity — the devtlb census audit must
+            # catch the oversized slot list.
+            limit += 1
+        return limit
 
     # ------------------------------------------------------------------
     # Lookup / fill
@@ -180,6 +196,10 @@ class DevTlb:
                 engine_stats.hits += 1
                 engine_stats.no_alloc += 1
                 sub.slots.append(sub.slots.pop(index))  # mark MRU
+                if self.coverage_probe is not None:
+                    self.coverage_probe(
+                        "devtlb.access", f"{field_type.value}:hit"
+                    )
                 if self.invariant_monitor is not None:
                     self.invariant_monitor.note(
                         "devtlb", engine_id=engine_id, pasid=pasid, hit=1
@@ -189,9 +209,18 @@ class DevTlb:
         pages = 512 if huge else 1
         base_vpn = virtual_page - (virtual_page % pages) if huge else virtual_page
         new_slot = _Slot(base_vpn=base_vpn, pages=pages, pasid=pasid)
-        if len(sub.slots) >= self.config.slots_per_subentry:
-            sub.slots.pop(0)
+        evicted = None
+        if len(sub.slots) >= self._evict_limit():
+            evicted = sub.slots.pop(0)
         sub.slots.append(new_slot)
+        if self.coverage_probe is not None:
+            if evicted is not None and evicted.pasid != pasid:
+                token = f"{field_type.value}:evict-xpasid"
+            elif evicted is not None:
+                token = f"{field_type.value}:evict"
+            else:
+                token = f"{field_type.value}:miss"
+            self.coverage_probe("devtlb.access", token)
         if self.invariant_monitor is not None:
             self.invariant_monitor.note(
                 "devtlb", engine_id=engine_id, pasid=pasid, hit=0
@@ -215,7 +244,7 @@ class DevTlb:
         sub = self._sub_entry(engine_id, field_type, pasid)
         pages = 512 if huge else 1
         base_vpn = virtual_page - (virtual_page % pages) if huge else virtual_page
-        if len(sub.slots) >= self.config.slots_per_subentry:
+        if len(sub.slots) >= self._evict_limit():
             sub.slots.pop(0)
         sub.slots.append(_Slot(base_vpn=base_vpn, pages=pages, pasid=pasid))
         if self.invariant_monitor is not None:

@@ -65,6 +65,9 @@ class PageRequestService:
         self.failed = 0
         self.dropped = 0
         self.fault_injector = None
+        #: Optional ``(site, token)`` callback installed by the fuzzer's
+        #: coverage map (:meth:`repro.fuzz.coverage.CoverageMap.install`).
+        self.coverage_probe = None
 
     def set_handler(self, handler: PageRequestHandler) -> None:
         """Install the OS-side fault handler."""
@@ -93,6 +96,8 @@ class PageRequestService:
         if drop is not None:
             self.failed += 1
             self.fault_injector.acknowledge(drop, action="prs-request-dropped")
+            if self.coverage_probe is not None:
+                self.coverage_probe("ats.prs", "injected-drop")
             raise TranslationFault(
                 virtual_address,
                 f"injected unresolved device page fault at {virtual_address:#x} "
@@ -101,8 +106,12 @@ class PageRequestService:
             )
         if self._handler is not None and self._handler(pasid, virtual_address, write):
             self.resolved += 1
+            if self.coverage_probe is not None:
+                self.coverage_probe("ats.prs", "resolved")
             return PAGE_REQUEST_CYCLES
         self.failed += 1
+        if self.coverage_probe is not None:
+            self.coverage_probe("ats.prs", "unresolved")
         raise TranslationFault(
             virtual_address,
             f"unresolved device page fault at {virtual_address:#x} (PASID {pasid})",

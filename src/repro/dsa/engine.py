@@ -137,6 +137,9 @@ class Engine:
         self.inflight: list[_InFlight] = []
         self.stats = EngineStats()
         self.fault_injector = None
+        #: Optional ``(site, token)`` callback installed by the fuzzer's
+        #: coverage map (:meth:`repro.fuzz.coverage.CoverageMap.install`).
+        self.coverage_probe = None
 
     # ------------------------------------------------------------------
     # Processing-unit admission
@@ -195,6 +198,8 @@ class Engine:
         misses = 0
         fault: TranslationFault | None = None
         injected_error = None
+        if self.coverage_probe is not None:
+            self.coverage_probe("engine.execute", descriptor.opcode.name.lower())
         if self.fault_injector is not None:
             cycles += self._pre_execution_faults(descriptor, timestamp)
 
@@ -208,6 +213,8 @@ class Engine:
             except TranslationFault as exc:
                 fault = exc
                 self.stats.faults += 1
+                if self.coverage_probe is not None:
+                    self.coverage_probe("engine.fault", "translation")
                 break
             hits += stream_hits
             misses += stream_misses
@@ -243,6 +250,8 @@ class Engine:
             )
         elif injected_error is not None:
             # The descriptor dies with an error status and moves no data.
+            if self.coverage_probe is not None:
+                self.coverage_probe("engine.fault", "injected")
             self.stats.faults += 1
             self.stats.injected_faults += 1
             status = (
@@ -329,6 +338,11 @@ class Engine:
         timing = self.timing
         pages = access.pages()
         space = self.agent.pasid_table.lookup(pasid)
+        if self.coverage_probe is not None:
+            span = "multi" if len(pages) > 1 else "single"
+            self.coverage_probe(
+                "engine.stream", f"{access.field_type.value}:{span}"
+            )
 
         first_va = access.address
         huge = space.is_mapped(first_va) and space.page_is_huge(first_va)

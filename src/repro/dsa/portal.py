@@ -80,6 +80,9 @@ class Portal:
         self.last_ticket: SubmissionTicket | None = None
         self.hidden_dmwr_drops = 0
         self.faults_injected = 0
+        #: Optional ``(site, token)`` callback installed by the fuzzer's
+        #: coverage map (:meth:`repro.fuzz.coverage.CoverageMap.install`).
+        self.coverage_probe = None
 
     def _submission_fault(self, descriptor: Descriptor | BatchDescriptor) -> bool:
         """Consult the fault injector at the portal-write site.
@@ -127,6 +130,8 @@ class Portal:
         """
         wq = self.device.wq(self.wq_id)
         if wq.config.mode is not WqMode.SHARED:
+            if self.coverage_probe is not None:
+                self.coverage_probe("portal.enqcmd", "dedicated-reject")
             raise ConfigurationError(
                 f"enqcmd targets shared queues; WQ {self.wq_id} is dedicated"
             )
@@ -141,6 +146,8 @@ class Portal:
             return False
         zf, ticket = self.device.submit(self.wq_id, descriptor, self.clock.now)
         self.last_ticket = ticket
+        if self.coverage_probe is not None:
+            self.coverage_probe("portal.enqcmd", "retry" if zf else "accept")
         return zf
 
     def _enqcmd_hidden(self, descriptor: Descriptor | BatchDescriptor) -> bool:
@@ -182,6 +189,8 @@ class Portal:
         """
         wq = self.device.wq(self.wq_id)
         if wq.config.mode is not WqMode.DEDICATED:
+            if self.coverage_probe is not None:
+                self.coverage_probe("portal.movdir64b", "shared-reject")
             raise ConfigurationError(
                 f"movdir64b targets dedicated queues; WQ {self.wq_id} is shared"
             )
@@ -193,6 +202,8 @@ class Portal:
         if self._submission_fault(descriptor):
             return
         zf, ticket = self.device.submit(self.wq_id, descriptor, self.clock.now)
+        if self.coverage_probe is not None:
+            self.coverage_probe("portal.movdir64b", "full" if zf else "accept")
         if zf:
             wq = self.device.wq(self.wq_id)
             raise QueueFullError(
@@ -264,6 +275,8 @@ class Portal:
         deadline = None if timeout_cycles is None else self.clock.now + timeout_cycles
         while ticket.completion_time is None:
             if deadline is not None and self.clock.now >= deadline:
+                if self.coverage_probe is not None:
+                    self.coverage_probe("portal.wait", "timeout")
                 raise CompletionTimeoutError(
                     f"WQ {self.wq_id}: no completion record after "
                     f"{timeout_cycles} cycles",

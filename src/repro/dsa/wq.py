@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.dsa.descriptor import BatchDescriptor, Descriptor
 from repro.errors import QueueConfigurationError
+from repro.faults.canary import CANARY_WQ_CREDIT, canary_active
 
 #: Physical descriptor-entry storage shared by all virtual queues.
 TOTAL_WQ_ENTRIES = 128
@@ -72,6 +73,9 @@ class WorkQueue:
         self.enqueued_total = 0
         self.rejected_total = 0
         self.max_occupancy_seen = 0
+        #: Optional ``(site, token)`` callback installed by the fuzzer's
+        #: coverage map (:meth:`repro.fuzz.coverage.CoverageMap.install`).
+        self.coverage_probe = None
 
     @property
     def wq_id(self) -> int:
@@ -114,6 +118,17 @@ class WorkQueue:
         """
         if self.is_full:
             self.rejected_total += 1
+            if isinstance(descriptor, BatchDescriptor) and canary_active(
+                CANARY_WQ_CREDIT
+            ):
+                # Seeded canary bug (REPRO_FUZZ_CANARY=wq-credit): the
+                # rejected batch still charges a slot credit, leaking
+                # occupancy the wq-credits ledger audit must catch.
+                self._outstanding += 1
+            if self.coverage_probe is not None:
+                self.coverage_probe(
+                    "wq.enqueue", f"{self.config.mode.value}:full"
+                )
             return None
         entry = QueuedEntry(descriptor=descriptor, enqueue_time=time, sequence=self._sequence)
         self._sequence += 1
@@ -121,6 +136,13 @@ class WorkQueue:
         self._outstanding += 1
         self.enqueued_total += 1
         self.max_occupancy_seen = max(self.max_occupancy_seen, self._outstanding)
+        if self.coverage_probe is not None:
+            # Quartile-bucketed occupancy makes "accepted while nearly
+            # full" a distinct coverage feature from "accepted empty".
+            quartile = min(3, 4 * self._outstanding // self.config.size)
+            self.coverage_probe(
+                "wq.enqueue", f"{self.config.mode.value}:q{quartile}"
+            )
         return entry
 
     def release_slot(self) -> None:
@@ -146,6 +168,10 @@ class WorkQueue:
         entries = list(self._entries)
         self._entries.clear()
         self._outstanding -= len(entries)
+        if self.coverage_probe is not None:
+            self.coverage_probe(
+                "wq.drain", "aborted" if entries else "empty"
+            )
         return entries
 
     def __len__(self) -> int:

@@ -1,0 +1,103 @@
+"""Lightweight branch-ish coverage for the device model.
+
+Model components expose an optional ``coverage_probe`` attribute (a
+``(site, token)`` callback, ``None`` by default so the model pays one
+attribute check per probe when no fuzzer is attached).  The map counts
+per-case hits per ``(site, token)`` pair, buckets the counts AFL-style
+(1, 2, 3, 4–7, 8–15, …), and treats each ``(site, token, bucket)``
+triple as one feature.  A case that produces a feature never seen before
+in the campaign earns a corpus slot — that is the entire guidance
+signal.
+
+State signatures (:meth:`CoverageMap.note_state`) fold coarse device
+state — queue-occupancy quartiles, busy engines, DevTLB occupancy —
+into the same feature space, so reaching a new *state* counts like
+reaching a new *branch*.
+
+Serialization is sorted and JSON-stable: two campaigns with the same
+seed persist byte-identical coverage.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def bucket(count: int) -> int:
+    """AFL-style hit-count bucket: exact to 3, then power-of-two bands."""
+    if count <= 3:
+        return count
+    return count.bit_length() + 2
+
+
+class CoverageMap:
+    """The campaign-global seen-feature set plus per-case counters."""
+
+    def __init__(self) -> None:
+        self._seen: "set[tuple[str, str, int]]" = set()
+        self._case: "dict[tuple[str, str], int]" = {}
+        self.cases = 0
+
+    # -- probing --------------------------------------------------------
+    def probe(self, site: str, token: str) -> None:
+        """One hit at *site*/*token* (the model-side callback)."""
+        key = (site, token)
+        self._case[key] = self._case.get(key, 0) + 1
+
+    def note_state(self, signature: str) -> None:
+        """Fold a device-state signature into the feature space."""
+        self.probe("state", signature)
+
+    def install(self, *objects: Any) -> None:
+        """Point every *object*'s ``coverage_probe`` at this map."""
+        for obj in objects:
+            obj.coverage_probe = self.probe
+
+    # -- case lifecycle -------------------------------------------------
+    def begin_case(self) -> None:
+        """Reset the per-case counters."""
+        self._case = {}
+
+    def end_case(self) -> int:
+        """Fold the case into the global set; return new-feature count."""
+        new = 0
+        for (site, token), count in self._case.items():
+            feature = (site, token, bucket(count))
+            if feature not in self._seen:
+                self._seen.add(feature)
+                new += 1
+        self._case = {}
+        self.cases += 1
+        return new
+
+    @property
+    def features(self) -> int:
+        """Total distinct features observed so far."""
+        return len(self._seen)
+
+    def sites(self) -> "dict[str, int]":
+        """Feature counts grouped by site (for the report)."""
+        out: "dict[str, int]" = {}
+        for site, _token, _bucket in self._seen:
+            out[site] = out.get(site, 0) + 1
+        return dict(sorted(out.items()))
+
+    # -- persistence ----------------------------------------------------
+    def to_json(self) -> "dict[str, Any]":
+        """Sorted, JSON-stable form for ``state.json``."""
+        return {
+            "cases": self.cases,
+            "features": sorted(
+                f"{site}|{token}|{level}" for site, token, level in self._seen
+            ),
+        }
+
+    @classmethod
+    def from_json(cls, raw: "dict[str, Any]") -> "CoverageMap":
+        """Rebuild a map persisted by :meth:`to_json`."""
+        cov = cls()
+        cov.cases = int(raw.get("cases", 0))
+        for entry in raw.get("features", []):
+            site, token, level = entry.rsplit("|", 2)
+            cov._seen.add((site, token, int(level)))
+        return cov

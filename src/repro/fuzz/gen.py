@@ -1,0 +1,281 @@
+"""Structure-aware workload generation and mutation.
+
+Cases are JSON-serializable operation lists (the same vocabulary shape
+as :mod:`repro.invariants.soak`, extended with the hostile kinds the
+fuzzer needs: queue-filling bursts, raw descriptor bytes, misaligned and
+aliased completion records, wrong-PASID and nested batch children).
+Everything draws from generators built by :func:`derive_rng`, so a case
+is a pure function of ``(seed, lane, iteration)`` — the static rule
+FUZ001 (docs/static-analysis.md) enforces that no other randomness
+enters this package.
+
+The boundary pools (:data:`SIZES`, :data:`OFFSETS`) are shared with the
+hypothesis property tests in ``tests/dsa/test_descriptor_properties.py``
+so the property strategies and the fuzzer probe the same edges.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.dsa.descriptor import DESCRIPTOR_SIZE
+
+#: Stream label mixed into every seed so fuzz draws never collide with
+#: the model's own generators (soak uses ``0x50A5``).
+_FUZZ_STREAM = 0xF022
+
+#: PASID is a 20-bit field; the generator probes both edges.
+PASID_MAX = (1 << 20) - 1
+
+#: Per-process scratch buffer size (descriptors may intentionally
+#: overrun it — oversize transfers are part of the attack surface).
+BUFFER_BYTES = 64 * 1024
+
+#: Boundary transfer sizes: zero (invalid), single byte, cache line,
+#: page edges, and transfers larger than the scratch buffers.
+SIZES = (0, 1, 32, 63, 64, 4095, 4096, 4097, 8192, 65536, 131072)
+
+#: Buffer offsets: aligned, unaligned, and page-spanning starts.
+OFFSETS = (0, 1, 31, 4064, 4095, 4096, 8192, 61440)
+
+#: The operation vocabulary (weights in :data:`_OP_WEIGHTS`).
+OP_KINDS = (
+    "submit_wait",
+    "submit",
+    "wait",
+    "burst",
+    "batch",
+    "raw",
+    "advance",
+    "drain",
+)
+_OP_WEIGHTS = (0.24, 0.14, 0.10, 0.12, 0.16, 0.08, 0.10, 0.06)
+
+#: Opcodes the structured generator emits (raw bytes cover the rest).
+OPCODES = ("noop", "memmove", "fill", "compare", "drain")
+
+#: Completion-record placement modes: rotating aligned slots, a
+#: deliberately misaligned address, or one address aliased by every
+#: descriptor of the process.
+COMP_MODES = ("ok", "misaligned", "aliased")
+
+#: PASID stamped into generated batch children: the submitter's own, a
+#: sibling tenant's, or the invalid zero PASID.
+CHILD_PASID_MODES = ("own", "other", "zero")
+
+#: Operations per freshly generated case.
+MIN_OPS = 4
+MAX_OPS = 16
+
+
+def derive_rng(seed: int, *lanes: int) -> np.random.Generator:
+    """The only RNG constructor in ``repro.fuzz`` (FUZ001).
+
+    Spawns an independent, reproducible stream for ``(seed, *lanes)``;
+    lanes separate topology, guided iterations, and baseline iterations.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence((_FUZZ_STREAM, seed, *lanes))
+    )
+
+
+# ----------------------------------------------------------------------
+# Topology
+# ----------------------------------------------------------------------
+def generate_topology(rng: np.random.Generator) -> "dict[str, Any]":
+    """A fuzz-friendly queue topology.
+
+    WQ 0 is always a *small* shared queue and WQ 1 a small dedicated
+    queue, so both submission instructions and the queue-full paths are
+    reachable in a handful of operations; a third queue of random shape
+    appears half the time.
+    """
+    engines = int(rng.integers(1, 4))
+    wqs: "list[dict[str, Any]]" = [
+        {
+            "wq_id": 0,
+            "size": int(rng.integers(2, 7)),
+            "mode": "shared",
+            "priority": int(rng.integers(0, 4)),
+            "group": 0,
+        },
+        {
+            "wq_id": 1,
+            "size": int(rng.integers(2, 7)),
+            "mode": "dedicated",
+            "priority": int(rng.integers(0, 4)),
+            "group": 0,
+        },
+    ]
+    if rng.random() < 0.5:
+        wqs.append(
+            {
+                "wq_id": 2,
+                "size": int(rng.integers(2, 17)),
+                "mode": "dedicated" if rng.random() < 0.5 else "shared",
+                "priority": int(rng.integers(0, 4)),
+                "group": 0,
+            }
+        )
+    return {"engines": engines, "groups": [tuple(range(engines))], "wqs": wqs}
+
+
+def wq_owner(wq: "dict[str, Any]", processes: int) -> int:
+    """The process index that opens a dedicated queue's portal."""
+    return int(wq["wq_id"]) % processes
+
+
+# ----------------------------------------------------------------------
+# Case generation
+# ----------------------------------------------------------------------
+def _pick(rng: np.random.Generator, pool: "tuple[Any, ...]") -> Any:
+    return pool[int(rng.integers(0, len(pool)))]
+
+
+def generate_op(
+    rng: np.random.Generator, topology: "dict[str, Any]", processes: int
+) -> "dict[str, Any]":
+    """One random operation against *topology*."""
+    wqs = topology["wqs"]
+    kind = OP_KINDS[int(rng.choice(len(OP_KINDS), p=_OP_WEIGHTS))]
+    wq = wqs[int(rng.integers(0, len(wqs)))]
+    if wq["mode"] == "dedicated":
+        proc = wq_owner(wq, processes)
+    else:
+        proc = int(rng.integers(0, processes))
+    op: "dict[str, Any]" = {"kind": kind, "proc": proc, "wq": int(wq["wq_id"])}
+    if kind in ("submit", "submit_wait"):
+        op["opcode"] = str(_pick(rng, OPCODES))
+        op["size"] = int(_pick(rng, SIZES))
+        op["src_off"] = int(_pick(rng, OFFSETS))
+        op["dst_off"] = int(_pick(rng, OFFSETS))
+        op["comp"] = str(_pick(rng, COMP_MODES))
+    elif kind == "burst":
+        op["count"] = int(rng.integers(2, 10))
+    elif kind == "batch":
+        # count 0 probes BatchDescriptor.validate's rejection path.
+        op["children"] = int(rng.integers(0, 7))
+        op["child_pasid"] = str(
+            CHILD_PASID_MODES[
+                int(rng.choice(len(CHILD_PASID_MODES), p=(0.7, 0.15, 0.15)))
+            ]
+        )
+        op["nested"] = bool(rng.random() < 0.15)
+        op["comp"] = str(_pick(rng, COMP_MODES))
+    elif kind == "raw":
+        data = rng.integers(0, 256, size=DESCRIPTOR_SIZE, dtype=np.uint8)
+        op["data"] = bytes(data).hex()
+    elif kind == "advance":
+        op["cycles"] = int(rng.integers(1_000, 200_000))
+    return op
+
+
+def generate_case(
+    rng: np.random.Generator, topology: "dict[str, Any]", processes: int
+) -> "list[dict[str, Any]]":
+    """A fresh random case: :data:`MIN_OPS`–:data:`MAX_OPS` operations."""
+    count = int(rng.integers(MIN_OPS, MAX_OPS + 1))
+    return [generate_op(rng, topology, processes) for _ in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Mutation
+# ----------------------------------------------------------------------
+def _tweak(
+    rng: np.random.Generator,
+    op: "dict[str, Any]",
+    topology: "dict[str, Any]",
+    processes: int,
+) -> "dict[str, Any]":
+    """Mutate one field of *op* (or replace it outright)."""
+    op = dict(op)
+    keys = sorted(k for k in op if k != "kind")
+    if not keys:
+        return generate_op(rng, topology, processes)
+    key = keys[int(rng.integers(0, len(keys)))]
+    if key == "size":
+        op["size"] = int(_pick(rng, SIZES))
+    elif key in ("src_off", "dst_off"):
+        op[key] = int(_pick(rng, OFFSETS))
+    elif key == "comp":
+        op["comp"] = str(_pick(rng, COMP_MODES))
+    elif key == "opcode":
+        op["opcode"] = str(_pick(rng, OPCODES))
+    elif key == "child_pasid":
+        op["child_pasid"] = str(_pick(rng, CHILD_PASID_MODES))
+    elif key == "children":
+        op["children"] = int(rng.integers(0, 9))
+    elif key == "count":
+        op["count"] = int(rng.integers(1, 12))
+    elif key == "cycles":
+        op["cycles"] = int(rng.integers(1_000, 400_000))
+    elif key == "nested":
+        op["nested"] = not bool(op["nested"])
+    elif key == "data":
+        raw = bytearray(bytes.fromhex(op["data"]))
+        raw[int(rng.integers(0, len(raw)))] = int(rng.integers(0, 256))
+        op["data"] = bytes(raw).hex()
+    elif key == "wq":
+        wq = topology["wqs"][int(rng.integers(0, len(topology["wqs"])))]
+        op["wq"] = int(wq["wq_id"])
+    elif key == "proc":
+        # May land on a process without a portal for a dedicated queue —
+        # that rejection path is itself interesting surface.
+        op["proc"] = int(rng.integers(0, processes))
+    return op
+
+
+def mutate(
+    rng: np.random.Generator,
+    ops: "list[dict[str, Any]]",
+    topology: "dict[str, Any]",
+    processes: int,
+) -> "list[dict[str, Any]]":
+    """Havoc-style structural edits: tweak, insert, delete, duplicate.
+
+    The edit count (2–8) is deliberately aggressive: a lightly-edited
+    mutant re-traces its parent's state-signature sequence almost
+    exactly, so timid mutation discovers features slower than fresh
+    generation.  Heavier havoc keeps the parent's hard-won structure
+    (full queues, batch shapes) while resampling enough of the sequence
+    to visit new device states.  The block-duplicate edit repeats a
+    contiguous slice, and mutants may grow to 4x the generator's op
+    cap — high hit-count coverage buckets are only reachable through
+    such long repeated sequences, which fresh generation never emits.
+    """
+    out = [dict(op) for op in ops]
+    for _ in range(2 + int(rng.integers(0, 7))):
+        choice = float(rng.random())
+        if not out or choice < 0.22:
+            pos = int(rng.integers(0, len(out) + 1))
+            out.insert(pos, generate_op(rng, topology, processes))
+        elif choice < 0.40 and len(out) > 1:
+            del out[int(rng.integers(0, len(out)))]
+        elif choice < 0.52:
+            index = int(rng.integers(0, len(out)))
+            out.insert(index, dict(out[index]))
+        elif choice < 0.64:
+            start = int(rng.integers(0, len(out)))
+            span = 1 + int(rng.integers(0, min(8, len(out) - start)))
+            block = [dict(op) for op in out[start : start + span]]
+            out[start + span : start + span] = block
+        else:
+            index = int(rng.integers(0, len(out)))
+            out[index] = _tweak(rng, out[index], topology, processes)
+    return out[: 4 * MAX_OPS]
+
+
+def splice(
+    rng: np.random.Generator,
+    first: "list[dict[str, Any]]",
+    second: "list[dict[str, Any]]",
+) -> "list[dict[str, Any]]":
+    """Crossover: a prefix of *first* followed by a suffix of *second*."""
+    cut_a = int(rng.integers(1, len(first) + 1)) if first else 0
+    cut_b = int(rng.integers(0, len(second))) if second else 0
+    out = [dict(op) for op in first[:cut_a]] + [
+        dict(op) for op in second[cut_b:]
+    ]
+    return out[: 2 * MAX_OPS] or [dict(op) for op in first] or list(second)

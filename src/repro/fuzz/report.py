@@ -1,0 +1,222 @@
+"""Deterministic campaign reports (Markdown and HTML).
+
+Both renderers are pure functions of ``state.json`` — no timestamps,
+hostnames, or absolute paths — so two campaigns with the same seed and
+configuration write byte-identical reports, and the determinism tests
+can diff them directly.  Finding repro commands use run-dir-relative
+paths (``--replay findings/0000.json``, run from inside the campaign
+directory).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.checkpoint import atomic_write_text
+from repro.fuzz.campaign import load_state
+from repro.fuzz.coverage import CoverageMap
+
+REPORT_MD = "report.md"
+REPORT_HTML = "report.html"
+
+#: Coverage-history rows sampled into the growth table.
+CURVE_POINTS = 20
+
+
+def _curve_rows(
+    guided: "list[int]", baseline: "list[int]"
+) -> "list[tuple[int, int, str]]":
+    """(iteration, guided, baseline-or-dash) rows, ~CURVE_POINTS of them."""
+    total = max(len(guided), len(baseline), 1)
+    step = max(1, total // CURVE_POINTS)
+    rows = []
+    for index in range(step - 1, total, step):
+        g = guided[min(index, len(guided) - 1)] if guided else 0
+        b = str(baseline[min(index, len(baseline) - 1)]) if baseline else "-"
+        rows.append((index + 1, g, b))
+    if rows and rows[-1][0] != total:
+        g = guided[-1] if guided else 0
+        b = str(baseline[-1]) if baseline else "-"
+        rows.append((total, g, b))
+    return rows
+
+
+def _replay_command(finding: "dict[str, Any]") -> str:
+    return f"PYTHONPATH=src python -m repro.fuzz --replay {finding['file']}"
+
+
+def render_markdown(state: "dict[str, Any]") -> str:
+    """The Markdown report for a campaign *state*."""
+    config = state["config"]
+    guided = CoverageMap.from_json(state["coverage"])
+    baseline = CoverageMap.from_json(state["baseline_coverage"])
+    corpus = state["corpus"]
+    findings = state["findings"]
+
+    lines = [
+        "# Fuzz campaign report",
+        "",
+        f"- seed: `{config['seed']}`",
+        f"- trials: {config['trials']} guided"
+        + (f" + {state['baseline_iter']} baseline" if config["baseline"] else ""),
+        f"- processes: {config['processes']}, monitor mode: "
+        f"`{config['mode']}`, fault rate: {config['fault_rate']}",
+        f"- guided coverage: **{guided.features} features** "
+        f"({guided.cases} cases, corpus {len(corpus)} entries)",
+    ]
+    if config["baseline"]:
+        delta = guided.features - baseline.features
+        lines.append(
+            f"- baseline coverage: {baseline.features} features "
+            f"(guided {'+' if delta >= 0 else ''}{delta})"
+        )
+    lines += [f"- findings: **{len(findings)}**", ""]
+
+    lines += ["## Coverage growth", ""]
+    rows = _curve_rows(state["coverage_history"], state["baseline_history"])
+    lines += ["| iteration | guided features | baseline features |",
+              "|---:|---:|---:|"]
+    for iteration, g, b in rows:
+        lines.append(f"| {iteration} | {g} | {b} |")
+    lines.append("")
+
+    lines += ["## Findings", ""]
+    if findings:
+        lines += [
+            "| id | kind | detail | ops | shrink runs | repro (from the campaign directory) |",
+            "|---:|---|---|---:|---:|---|",
+        ]
+        for finding in findings:
+            lines.append(
+                f"| {finding['file'].split('/')[-1].split('.')[0]} "
+                f"| {finding['kind']} | `{finding['detail']}` "
+                f"| {finding['ops']} | {finding['shrink_runs']} "
+                f"| `{_replay_command(finding)}` |"
+            )
+    else:
+        lines.append("No findings — every case was handled or detected cleanly.")
+    lines.append("")
+
+    lines += ["## Corpus", ""]
+    if corpus:
+        total_picks = sum(entry["picks"] for entry in corpus)
+        mean_ops = sum(entry["ops"] for entry in corpus) / len(corpus)
+        lines += [
+            f"- entries: {len(corpus)}",
+            f"- mean ops per entry: {mean_ops:.1f}",
+            f"- total parent picks: {total_picks}",
+        ]
+    else:
+        lines.append("- empty (no case discovered new coverage)")
+    lines += ["", "## Coverage by site", ""]
+    lines += ["| site | features |", "|---|---:|"]
+    for site, count in guided.sites().items():
+        lines.append(f"| `{site}` | {count} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _svg_curve(
+    guided: "list[int]", baseline: "list[int]", width: int = 640, height: int = 200
+) -> str:
+    """An inline SVG polyline chart of the two coverage histories."""
+    peak = max(guided + baseline + [1])
+    total = max(len(guided), len(baseline), 1)
+
+    def points(series: "list[int]") -> str:
+        if not series:
+            return ""
+        coords = []
+        for index, value in enumerate(series):
+            x = 10 + (width - 20) * index / max(1, total - 1)
+            y = height - 10 - (height - 20) * value / peak
+            coords.append(f"{x:.1f},{y:.1f}")
+        return " ".join(coords)
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" height="{height}" '
+        'role="img" aria-label="coverage growth">',
+        f'<rect x="0" y="0" width="{width}" height="{height}" fill="#fafafa" '
+        'stroke="#ddd"/>',
+    ]
+    if baseline:
+        parts.append(
+            f'<polyline points="{points(baseline)}" fill="none" '
+            'stroke="#999" stroke-width="1.5" stroke-dasharray="4 3"/>'
+        )
+    if guided:
+        parts.append(
+            f'<polyline points="{points(guided)}" fill="none" '
+            'stroke="#1f77b4" stroke-width="2"/>'
+        )
+    parts.append(
+        f'<text x="12" y="16" font-size="11" fill="#1f77b4">guided '
+        f'({guided[-1] if guided else 0})</text>'
+    )
+    if baseline:
+        parts.append(
+            f'<text x="12" y="30" font-size="11" fill="#777">baseline '
+            f'({baseline[-1]})</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render_html(state: "dict[str, Any]") -> str:
+    """The HTML report: the Markdown content plus the SVG curve."""
+    config = state["config"]
+    findings = state["findings"]
+    guided = CoverageMap.from_json(state["coverage"])
+    baseline = CoverageMap.from_json(state["baseline_coverage"])
+    rows = []
+    for finding in findings:
+        rows.append(
+            "<tr>"
+            f"<td>{finding['file'].split('/')[-1].split('.')[0]}</td>"
+            f"<td>{finding['kind']}</td><td><code>{finding['detail']}</code></td>"
+            f"<td>{finding['ops']}</td>"
+            f"<td><code>{_replay_command(finding)}</code></td>"
+            "</tr>"
+        )
+    finding_table = (
+        "<table><tr><th>id</th><th>kind</th><th>detail</th><th>ops</th>"
+        "<th>repro</th></tr>" + "".join(rows) + "</table>"
+        if rows
+        else "<p>No findings.</p>"
+    )
+    return "\n".join(
+        [
+            "<!DOCTYPE html>",
+            '<html lang="en"><head><meta charset="utf-8">',
+            "<title>Fuzz campaign report</title>",
+            "<style>body{font-family:sans-serif;margin:2em;max-width:60em}"
+            "table{border-collapse:collapse}td,th{border:1px solid #ccc;"
+            "padding:4px 8px;text-align:left}</style>",
+            "</head><body>",
+            "<h1>Fuzz campaign report</h1>",
+            f"<p>seed <code>{config['seed']}</code>, "
+            f"{config['trials']} guided trials, "
+            f"{state['baseline_iter']} baseline trials, "
+            f"fault rate {config['fault_rate']}.</p>",
+            f"<p>Guided coverage <strong>{guided.features}</strong> features "
+            f"(corpus {len(state['corpus'])}); baseline "
+            f"{baseline.features} features; "
+            f"<strong>{len(findings)}</strong> findings.</p>",
+            "<h2>Coverage growth</h2>",
+            _svg_curve(state["coverage_history"], state["baseline_history"]),
+            "<h2>Findings</h2>",
+            finding_table,
+            "</body></html>",
+            "",
+        ]
+    )
+
+
+def write_report(run_dir: "str | Path") -> "tuple[Path, Path]":
+    """Render both reports from ``state.json`` into *run_dir*."""
+    run_dir = Path(run_dir)
+    state = load_state(run_dir)
+    md = atomic_write_text(run_dir / REPORT_MD, render_markdown(state))
+    html = atomic_write_text(run_dir / REPORT_HTML, render_html(state))
+    return md, html

@@ -32,6 +32,7 @@ from repro.errors import InvariantViolation, ReproError
 from repro.experiments.runner import EXIT_INVARIANT
 from repro.hw.units import PAGE_SIZE
 from repro.invariants.monitor import InvariantMonitor
+from repro.invariants.shrink import ddmin
 from repro.virt.system import CloudSystem
 
 #: Poll bound for every wait: generous at simulated 2 GHz, but finite so
@@ -354,40 +355,20 @@ def shrink(
     invariant: str,
     budget: "int | None" = None,
 ) -> "tuple[list[dict[str, Any]], int]":
-    """ddmin-lite: drop chunks of *ops* while the same *invariant* still
-    trips, within a re-execution *budget*.  Returns (minimal ops, runs)."""
+    """Drop chunks of *ops* while the same *invariant* still trips,
+    within a re-execution *budget* (see :func:`repro.invariants.shrink.ddmin`).
+    Returns (minimal ops, runs)."""
     if budget is None:
         budget = config.shrink_budget
-    runs = 0
 
     def still_fails(candidate: "list[dict[str, Any]]") -> bool:
-        nonlocal runs
-        runs += 1
         outcome = execute(config, candidate)
         return (
             outcome.violation is not None
             and outcome.violation.invariant == invariant
         )
 
-    current = list(ops)
-    chunks = 2
-    while len(current) >= 2 and runs < budget:
-        size = max(1, len(current) // chunks)
-        reduced = False
-        for start in range(0, len(current), size):
-            if runs >= budget:
-                break
-            candidate = current[:start] + current[start + size :]
-            if candidate and still_fails(candidate):
-                current = candidate
-                chunks = max(2, chunks - 1)
-                reduced = True
-                break
-        if not reduced:
-            if size <= 1:
-                break
-            chunks = min(len(current), chunks * 2)
-    return current, runs
+    return ddmin(ops, still_fails, budget=budget)
 
 
 def repro_command(config: SoakConfig) -> str:

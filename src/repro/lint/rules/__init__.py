@@ -14,6 +14,7 @@ from repro.lint.rules.det001_rng import UnseededRngChecker
 from repro.lint.rules.det002_wallclock import WallClockChecker
 from repro.lint.rules.det003_ordering import OrderingChecker
 from repro.lint.rules.exc001_broad_except import BroadExceptChecker
+from repro.lint.rules.fuz001_fuzz_rng import FuzzRngChecker
 from repro.lint.rules.par001_worker_closures import WorkerClosureChecker
 from repro.lint.rules.sim001_fault_sites import FaultSiteChecker
 from repro.lint.rules.sim002_guarded_fields import GuardedFieldChecker
@@ -25,6 +26,7 @@ ALL_CHECKERS: tuple[type[Checker], ...] = (
     WallClockChecker,
     OrderingChecker,
     BroadExceptChecker,
+    FuzzRngChecker,
     WorkerClosureChecker,
     FaultSiteChecker,
     GuardedFieldChecker,
@@ -40,6 +42,7 @@ __all__ = [
     "RULES",
     "BroadExceptChecker",
     "FaultSiteChecker",
+    "FuzzRngChecker",
     "GuardedFieldChecker",
     "OrderingChecker",
     "TrialKeyChecker",

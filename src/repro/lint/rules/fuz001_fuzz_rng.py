@@ -1,0 +1,93 @@
+"""FUZ001 — randomness in ``repro.fuzz`` outside ``derive_*`` helpers.
+
+The fuzzer's reproducibility contract is stronger than seeded-RNG
+hygiene (DET001): every case must be a pure function of
+``(seed, lane, iteration)`` so that a campaign replays byte-identically
+and a persisted finding re-executes years later.  That holds only if
+*all* generator construction funnels through the ``derive_*`` helpers
+(:func:`repro.fuzz.gen.derive_rng`), which mix the package's stream
+label and the campaign seed into one ``SeedSequence``.  A generator
+built anywhere else — even with an explicit seed — forks an RNG lineage
+the campaign state does not track, and a replay cannot reconstruct.
+
+Inside ``repro.fuzz`` this rule therefore flags:
+
+* **any RNG constructor outside a ``derive_*`` function** —
+  ``numpy.random.default_rng``, ``numpy.random.SeedSequence``,
+  ``numpy.random.Generator``, ``random.Random`` — seeded or not;
+* **any stdlib ``random``/``secrets`` use** — the module-level
+  functions draw from hidden global state, and even a locally seeded
+  ``random.Random`` bypasses the lane derivation.
+
+The fix is never a suppression: accept a ``numpy.random.Generator``
+parameter, or add a ``derive_*`` helper that extends the lane tuple.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.checker import Checker, FileContext
+
+#: Constructors that fork an RNG lineage (flagged outside ``derive_*``).
+_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.Generator",
+        "random.Random",
+        "random.SystemRandom",
+    }
+)
+
+#: Modules whose every call is banned in ``repro.fuzz`` regardless of
+#: scope (constructors above are reported once, as constructors).
+_BANNED_MODULES = ("random.", "secrets.")
+
+
+class FuzzRngChecker(Checker):
+    """Flags RNG lineage forks and stdlib entropy inside ``repro.fuzz``."""
+
+    rule = "FUZ001"
+    title = "randomness in repro.fuzz outside derive_* helpers"
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._derive_depth = 0
+
+    @classmethod
+    def interested(cls, ctx: FileContext) -> bool:
+        return ctx.in_package("repro.fuzz")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        derive = node.name.startswith("derive_")
+        if derive:
+            self._derive_depth += 1
+        self.generic_visit(node)
+        if derive:
+            self._derive_depth -= 1
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        origin = self.resolve_call(node)
+        if origin is not None:
+            self._check_origin(node, origin)
+        self.generic_visit(node)
+
+    def _check_origin(self, node: ast.Call, origin: str) -> None:
+        if origin in _CONSTRUCTORS:
+            if self._derive_depth == 0:
+                self.report(
+                    node,
+                    f"`{origin}(...)` outside a derive_* helper forks an"
+                    " RNG lineage replays cannot reconstruct; route"
+                    " through repro.fuzz.gen.derive_rng",
+                )
+        elif origin.startswith(_BANNED_MODULES):
+            self.report(
+                node,
+                f"`{origin}()` bypasses the (seed, lane, iteration)"
+                " derivation; fuzz draws must come from a Generator"
+                " built by a derive_* helper",
+            )

@@ -1,0 +1,164 @@
+"""Hypothesis round-trip and validation properties for descriptors.
+
+The strategies draw from the same boundary pools the fuzzer's generator
+uses (:data:`repro.fuzz.gen.SIZES` / :data:`repro.fuzz.gen.OFFSETS` /
+:data:`repro.fuzz.gen.PASID_MAX`), so the property tests and the
+campaign probe the same edges of the encoding.  ``derandomize=True``
+keeps the examples a pure function of the test source — CI runs are
+reproducible, like everything else in the artifact.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.dsa.descriptor import (  # noqa: E402
+    COMPLETION_ALIGN,
+    DESCRIPTOR_SIZE,
+    BatchDescriptor,
+    Descriptor,
+)
+from repro.dsa.opcodes import DescriptorFlags, Opcode  # noqa: E402
+from repro.errors import InvalidDescriptorError  # noqa: E402
+from repro.fuzz.gen import OFFSETS, PASID_MAX, SIZES  # noqa: E402
+
+SETTINGS = settings(max_examples=60, deadline=None, derandomize=True)
+
+#: Data-moving opcodes (the ones whose validate() demands a size).
+DATA_OPCODES = [
+    op for op in Opcode if op not in (Opcode.NOOP, Opcode.DRAIN, Opcode.BATCH)
+]
+
+#: Addresses built from the generator's boundary offsets plus a page
+#: base, so page-spanning and alignment edges are always in the pool.
+addresses = st.builds(
+    lambda page, off: (page << 12) + off,
+    st.integers(0, (1 << 48) - 1),
+    st.sampled_from(OFFSETS),
+)
+
+sizes = st.one_of(st.sampled_from(SIZES), st.integers(0, (1 << 32) - 1))
+
+pasids = st.one_of(
+    st.integers(1, PASID_MAX), st.sampled_from([1, 2, PASID_MAX])
+)
+
+#: The flags byte as encoded on the wire (encode() masks to 8 bits).
+flag_bytes = st.integers(0, 0xFF).map(DescriptorFlags)
+
+descriptors = st.builds(
+    Descriptor,
+    opcode=st.sampled_from(list(Opcode)),
+    pasid=pasids,
+    flags=flag_bytes,
+    completion_addr=addresses,
+    src=addresses,
+    dst=addresses,
+    size=sizes,
+    dst2=addresses,
+    interrupt_handle=st.integers(0, 0xFFFF),
+    privileged=st.booleans(),
+)
+
+
+class TestDescriptorRoundTrip:
+    @SETTINGS
+    @given(descriptors)
+    def test_encode_decode_is_identity(self, desc):
+        raw = desc.encode()
+        assert len(raw) == DESCRIPTOR_SIZE
+        assert Descriptor.decode(raw) == desc
+
+    @SETTINGS
+    @given(descriptors)
+    def test_encode_is_deterministic(self, desc):
+        assert desc.encode() == desc.encode()
+
+    @SETTINGS
+    @given(st.binary(min_size=0, max_size=DESCRIPTOR_SIZE * 2))
+    def test_wrong_length_raises_typed_error(self, raw):
+        if len(raw) == DESCRIPTOR_SIZE:
+            raw += b"\x00"
+        with pytest.raises(InvalidDescriptorError):
+            Descriptor.decode(raw)
+
+    @SETTINGS
+    @given(descriptors, st.integers(0, 0xFF))
+    def test_unknown_opcode_raises_typed_error(self, desc, byte):
+        valid = {int(op) for op in Opcode}
+        raw = bytearray(desc.encode())
+        raw[7] = byte  # the opcode byte in the wire layout
+        if byte in valid:
+            assert Descriptor.decode(bytes(raw)).opcode == Opcode(byte)
+        else:
+            with pytest.raises(InvalidDescriptorError):
+                Descriptor.decode(bytes(raw))
+
+
+class TestDescriptorValidate:
+    @SETTINGS
+    @given(st.sampled_from(DATA_OPCODES), st.integers(-4096, 0))
+    def test_nonpositive_size_rejected_for_data_opcodes(self, opcode, size):
+        desc = Descriptor(opcode=opcode, pasid=1, size=size)
+        with pytest.raises(InvalidDescriptorError):
+            desc.validate()
+
+    @SETTINGS
+    @given(st.sampled_from([Opcode.NOOP, Opcode.DRAIN, Opcode.BATCH]))
+    def test_sizeless_opcodes_accept_zero_size(self, opcode):
+        Descriptor(opcode=opcode, pasid=1, size=0).validate()
+
+    @SETTINGS
+    @given(st.integers(-(1 << 20), 0))
+    def test_nonpositive_pasid_rejected(self, pasid):
+        with pytest.raises(InvalidDescriptorError):
+            Descriptor(opcode=Opcode.NOOP, pasid=pasid).validate()
+
+    @SETTINGS
+    @given(st.integers(0, 1 << 20))
+    def test_completion_alignment_gates_validate(self, addr):
+        desc = Descriptor(
+            opcode=Opcode.NOOP, pasid=1, completion_addr=addr
+        )
+        assert desc.wants_completion
+        if addr % COMPLETION_ALIGN:
+            with pytest.raises(InvalidDescriptorError):
+                desc.validate()
+        else:
+            desc.validate()
+
+
+class TestBatchDescriptorValidate:
+    @SETTINGS
+    @given(pasids, st.integers(1, 1024), st.integers(0, 1 << 16))
+    def test_validate_matches_field_predicates(self, pasid, count, comp):
+        batch = BatchDescriptor(
+            pasid=pasid,
+            desc_list_addr=0x1000,
+            count=count,
+            completion_addr=comp * COMPLETION_ALIGN,
+        )
+        batch.validate()
+        assert batch.list_bytes() == count * DESCRIPTOR_SIZE
+
+    @SETTINGS
+    @given(st.integers(-16, 0))
+    def test_empty_batch_rejected(self, count):
+        batch = BatchDescriptor(pasid=1, desc_list_addr=0x1000, count=count)
+        with pytest.raises(InvalidDescriptorError):
+            batch.validate()
+
+    @SETTINGS
+    @given(st.integers(1, COMPLETION_ALIGN - 1))
+    def test_misaligned_batch_completion_rejected(self, slack):
+        batch = BatchDescriptor(
+            pasid=1,
+            desc_list_addr=0x1000,
+            count=2,
+            completion_addr=COMPLETION_ALIGN + slack,
+        )
+        with pytest.raises(InvalidDescriptorError):
+            batch.validate()

@@ -1,0 +1,28 @@
+# repro-lint-fixture-module: repro.fuzz.fixture_fuz001_ok
+"""FUZ001 negative fixture: the sanctioned derivation funnel.
+
+Constructors live only in ``derive_*`` helpers; everything else takes a
+``numpy.random.Generator`` parameter and draws from it.
+"""
+
+import numpy as np
+
+_STREAM = 0xF022
+
+
+def derive_rng(seed: int, *lanes: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence((_STREAM, seed, *lanes)))
+
+
+def derive_case_rng(seed: int, iteration: int) -> np.random.Generator:
+    sequence = np.random.SeedSequence((_STREAM, seed, 1, iteration))
+    return np.random.default_rng(sequence)
+
+
+def draw_size(rng: np.random.Generator, sizes: tuple) -> int:
+    return int(sizes[int(rng.integers(0, len(sizes)))])
+
+
+def shuffle_ops(rng: np.random.Generator, ops: list) -> list:
+    order = rng.permutation(len(ops))
+    return [ops[int(index)] for index in order]

@@ -1,0 +1,32 @@
+# repro-lint-fixture-module: repro.fuzz.fixture_fuz001
+"""FUZ001 positive fixture: RNG lineage forks inside ``repro.fuzz``.
+
+Every constructor here is *seeded*, so DET001 stays quiet — FUZ001's
+whole point is that a seed alone is not enough inside the fuzzer.
+"""
+
+import random
+
+import numpy as np
+from numpy.random import SeedSequence, default_rng
+
+
+def module_scope_rng():
+    return default_rng(7)  # seeded, but not a derive_* helper
+
+
+def fork_seed_sequence(seed: int):
+    return SeedSequence((0xF022, seed))
+
+
+def wrap_bit_generator(seed: int):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def local_stdlib_instance():
+    rng = random.Random(42)
+    return rng.random()
+
+
+def derives_but_misnamed(seed: int, lane: int):
+    return np.random.default_rng((seed, lane))
