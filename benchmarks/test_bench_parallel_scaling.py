@@ -1,9 +1,10 @@
 """Wall-clock scaling of the sharded executor on the fig09 covert plan.
 
-Runs the same :func:`fig09_covert.trial_plan` at 1, 2, and 4 workers,
-verifies the finalized artifacts are byte-identical across worker
-counts, and records the measured timings in ``BENCH_parallel.json`` at
-the repo root (override the path with ``BENCH_PARALLEL_PATH``).
+Runs the same :func:`fig09_covert.trial_plan` at 1, 2, and 4 workers
+(one-shot spawn executor), verifies the finalized artifacts are
+byte-identical across worker counts, and records the measured timings
+in ``BENCH_parallel.json`` at the repo root (override the path with
+``BENCH_PARALLEL_PATH``).
 
 The ≥ 2.5× speedup target at 4 workers is asserted only on machines
 with at least 4 CPUs — on fewer cores the trials time-slice a single
@@ -11,6 +12,14 @@ core and spawned interpreters are pure overhead, so the test instead
 bounds that overhead.  Either way the measured numbers and the CPU
 count land in the JSON record, so the artifact states exactly what was
 (and was not) demonstrated.
+
+A second lane times the persistent pool executor: after one untimed
+warm-up run, repeated small runs against a warm 2-worker pool must be
+at least ``POOL_REUSE_RATIO_FLOOR`` times faster in aggregate than the
+same runs under the spawn executor (which pays interpreter startup and
+plan construction every time).  That gate holds at any CPU count —
+amortizing startup is precisely what a persistent pool buys on a
+starved machine.
 """
 
 import json
@@ -20,11 +29,17 @@ import time
 from pathlib import Path
 
 from repro.experiments import fig09_covert
+from repro.experiments.pool import shutdown_pools
 from repro.experiments.runner import run_experiment
 
 FIG09_CONFIG = {"payload_bits": 192, "runs": 2}
 WORKER_COUNTS = (1, 2, 4)
 TARGET_SPEEDUP_AT_4 = 2.5
+#: The pool-reuse lane: a deliberately tiny plan, so per-run compute is
+#: negligible and the measured ratio isolates startup amortization.
+POOL_CONFIG = {"payload_bits": 48, "runs": 1}
+POOL_REPEATS = 3
+POOL_REUSE_RATIO_FLOOR = 3.0
 #: Single-core fallback bound: sharding may cost spawn + queue overhead,
 #: but never more than this multiple of the serial wall-clock plus a
 #: fixed interpreter-startup allowance.
@@ -50,10 +65,58 @@ def _timed_run(workers: int) -> tuple[float, bytes]:
     plan = fig09_covert.trial_plan(**FIG09_CONFIG)
     source = fig09_covert.plan_source(**FIG09_CONFIG) if workers > 1 else None
     start = time.perf_counter()
-    outcome = run_experiment(plan, workers=workers, plan_source=source)
+    outcome = run_experiment(
+        plan,
+        workers=workers,
+        executor="spawn" if workers > 1 else "auto",
+        plan_source=source,
+    )
     elapsed = time.perf_counter() - start
     assert outcome.status == "completed", outcome.status
     return elapsed, pickle.dumps(outcome.result, protocol=4)
+
+
+def _small_run(executor: str) -> tuple[float, bytes]:
+    plan = fig09_covert.trial_plan(**POOL_CONFIG)
+    source = fig09_covert.plan_source(**POOL_CONFIG)
+    start = time.perf_counter()
+    outcome = run_experiment(
+        plan, workers=2, executor=executor, plan_source=source
+    )
+    elapsed = time.perf_counter() - start
+    assert outcome.status == "completed", outcome.status
+    return elapsed, pickle.dumps(outcome.result, protocol=4)
+
+
+def _pool_reuse_lane() -> dict:
+    """Repeated small runs: warm pool vs. fresh spawns each time."""
+    serial = run_experiment(fig09_covert.trial_plan(**POOL_CONFIG))
+    serial_artifact = pickle.dumps(serial.result, protocol=4)
+    try:
+        _small_run("pool")  # untimed warm-up: spawn workers, build plan
+        pool_total = 0.0
+        for _ in range(POOL_REPEATS):
+            elapsed, artifact = _small_run("pool")
+            assert artifact == serial_artifact, (
+                "pool artifact diverges from serial"
+            )
+            pool_total += elapsed
+    finally:
+        shutdown_pools()
+    spawn_total = 0.0
+    for _ in range(POOL_REPEATS):
+        elapsed, artifact = _small_run("spawn")
+        assert artifact == serial_artifact, (
+            "spawn artifact diverges from serial"
+        )
+        spawn_total += elapsed
+    return {
+        "config": POOL_CONFIG,
+        "repeats": POOL_REPEATS,
+        "pool_total_s": round(pool_total, 3),
+        "spawn_total_s": round(spawn_total, 3),
+        "artifacts_identical_to_serial": True,
+    }
 
 
 def test_bench_parallel_scaling():
@@ -67,6 +130,11 @@ def test_bench_parallel_scaling():
         assert artifacts[workers] == artifacts[1], (
             f"artifact at {workers} workers diverges from serial"
         )
+
+    reuse = _pool_reuse_lane()
+    pool_reuse_ratio = reuse["spawn_total_s"] / max(
+        reuse["pool_total_s"], 1e-9
+    )
 
     speedup = {w: timings[1] / timings[w] for w in WORKER_COUNTS}
     spawn_overhead_ratio = timings[4] / timings[1]
@@ -84,6 +152,9 @@ def test_bench_parallel_scaling():
         "spawn_overhead_ratio_limit": SPAWN_OVERHEAD_RATIO_LIMIT,
         "spawn_overhead_enforced": cpus == 1,
         "artifacts_identical_across_worker_counts": True,
+        "pool_reuse": reuse,
+        "pool_reuse_ratio": round(pool_reuse_ratio, 3),
+        "pool_reuse_ratio_floor": POOL_REUSE_RATIO_FLOOR,
     }
     BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     print(f"\nparallel scaling on {cpus} CPU(s): " + ", ".join(
@@ -106,3 +177,12 @@ def test_bench_parallel_scaling():
                 f"spawn overhead ratio {spawn_overhead_ratio:.2f}x exceeds "
                 f"the {SPAWN_OVERHEAD_RATIO_LIMIT}x single-CPU ceiling"
             )
+
+    # Pool-reuse gate: holds at any CPU count — a warm pool skips the
+    # interpreter spawn + plan rebuild the spawn executor pays per run.
+    assert pool_reuse_ratio >= POOL_REUSE_RATIO_FLOOR, (
+        f"pool reuse ratio {pool_reuse_ratio:.2f}x below the "
+        f"{POOL_REUSE_RATIO_FLOOR}x floor "
+        f"(pool {reuse['pool_total_s']}s vs spawn {reuse['spawn_total_s']}s "
+        f"over {POOL_REPEATS} repeated runs)"
+    )

@@ -21,7 +21,8 @@ echo "== serial reference =="
 python -m repro.experiments "${sweep[@]}" --run-dir "$workdir/serial" >/dev/null
 
 echo "== 2-worker sharded run =="
-python -m repro.experiments "${sweep[@]}" --workers 2 --run-dir "$workdir/par" >/dev/null
+python -m repro.experiments "${sweep[@]}" --workers 2 --executor spawn \
+    --run-dir "$workdir/par" >/dev/null
 
 echo "== diff artifact =="
 cmp "$workdir/serial/result.pkl" "$workdir/par/result.pkl"

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Persistent-pool smoke test:
+#
+#   1. lint preflight (includes the PAR002 pool-resource rule),
+#   2. run a small fig09 sweep serially and again on the supervised
+#      pool (--executor pool, 2 workers), byte-compare the artifacts,
+#   3. run the pytest suites marked `pool` (excluded from tier-1):
+#      the chaos matrix (crash/stall/corrupt workers, external kill -9,
+#      SIGTERM drain) plus anything else riding the marker.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== lint preflight =="
+python -m repro.lint src
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+sweep=(fig09 --set payload_bits=256 --set runs=3)
+
+echo "== serial reference =="
+python -m repro.experiments "${sweep[@]}" --run-dir "$workdir/serial" >/dev/null
+
+echo "== 2-worker pooled run =="
+python -m repro.experiments "${sweep[@]}" --workers 2 --executor pool \
+    --run-dir "$workdir/pool" >/dev/null
+
+echo "== diff artifact =="
+cmp "$workdir/serial/result.pkl" "$workdir/pool/result.pkl"
+echo "   pooled artifact is byte-identical to the serial run"
+
+echo "== pytest -m pool =="
+python -m pytest tests -o addopts="" -m pool -q "$@"
+
+echo "pool smoke test passed"

@@ -256,6 +256,29 @@ class UnhandledFaultError(ReproError):
         self.unacknowledged = dict(detail)
 
 
+class PoolError(ReproError):
+    """The persistent worker pool could not execute a run as asked.
+
+    Raised by :mod:`repro.experiments.pool` for supervision-level
+    failures that are *not* a trial's own error: a closed pool asked to
+    run, a worker that failed run setup, or — as the ``error`` of a
+    ``poisoned`` run outcome — trials quarantined after repeatedly
+    killing the workers executing them.
+    """
+
+
+class PoolProtocolError(PoolError):
+    """The checksummed shared-memory result stream was corrupted.
+
+    Every worker→parent record travels as a framed, CRC32-checksummed
+    blob over a shared-memory ring.  A frame whose magic or checksum
+    does not verify (torn write, hostile corruption, garbage from a
+    dying worker) raises this on the parent side, which treats the
+    worker as failed and requeues its unacknowledged trials — corruption
+    is healed, never silently parsed.
+    """
+
+
 class DatasetCorruptionError(ReproError, ValueError):
     """An on-disk artifact failed its integrity check on load.
 

@@ -19,10 +19,14 @@ validating its config hash; ``--deadline S`` stops cleanly before a
 wall-clock budget expires; ``--breaker-threshold N`` opens the failure
 circuit breaker after N consecutive contained failures; ``--set k=v``
 overrides a ``trial_plan`` keyword (values parsed as Python literals);
-``--workers N`` shards the trials across N spawned processes (``--shard``
+``--workers N`` shards the trials across N worker processes (``--shard``
 picks the partition strategy) with output observation-equivalent to a
 serial run — a checkpointed run may even switch worker counts between
-``--run-dir`` and ``--resume`` (see docs/parallel.md).
+``--run-dir`` and ``--resume`` (see docs/parallel.md); ``--executor``
+picks the multi-process engine — ``auto`` (the supervised persistent
+pool, degrading to the serial loop when parallelism cannot pay on this
+host), ``pool`` (the pool, unconditionally), or ``spawn`` (one-shot
+spawned shards).
 
 Exit codes (see :mod:`repro.experiments.runner` and docs/robustness.md):
 
@@ -33,6 +37,9 @@ Exit codes (see :mod:`repro.experiments.runner` and docs/robustness.md):
 3      fewer successful trials than the plan's floor
 4      contained reproduction error outside trial containment
 5      checkpoint/resume mismatch (config hash, wrong experiment, ...)
+6      a runtime invariant tripped (model or pool state untrusted)
+8      the worker pool quarantined poisoned trials (they repeatedly
+       killed their workers); everything else is journaled
 75     soft deadline hit; run checkpointed — re-run with ``--resume``
 130    interrupted (SIGINT/SIGTERM); checkpointed — ``--resume``
 =====  ================================================================
@@ -123,6 +130,7 @@ def run_one(
     breaker_threshold: int | None = None,
     workers: int = 1,
     shard: str = "interleave",
+    executor: str = "auto",
 ) -> int:
     """Run one experiment under supervision; returns its exit code.
 
@@ -149,6 +157,7 @@ def run_one(
             breaker=breaker,
             workers=workers,
             shard_strategy=shard,
+            executor=executor,
             # Trial closures do not pickle; shard workers rebuild the
             # plan from the module's trial_plan hook instead.
             plan_source=PlanHandle(module.__name__, dict(overrides or {})),
@@ -260,6 +269,14 @@ def main(argv: list[str] | None = None) -> int:
         default="interleave",
         help="how --workers partitions trials across processes",
     )
+    parser.add_argument(
+        "--executor",
+        choices=("auto", "pool", "spawn"),
+        default="auto",
+        help="multi-process engine for --workers: the supervised "
+        "persistent pool with cost-model degradation (auto), the pool "
+        "unconditionally (pool), or one-shot spawned shards (spawn)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -296,6 +313,7 @@ def main(argv: list[str] | None = None) -> int:
                 breaker_threshold=args.breaker_threshold,
                 workers=args.workers,
                 shard=args.shard,
+                executor=args.executor,
             )
         except KeyboardInterrupt:
             # In-memory runs re-raise from require_result-free paths too.

@@ -49,6 +49,7 @@ STATUS_DEADLINE = "deadline"
 STATUS_INSUFFICIENT = "insufficient"
 STATUS_FAILED = "failed"
 STATUS_INVARIANT = "invariant"
+STATUS_POISONED = "poisoned"
 
 
 # ----------------------------------------------------------------------
@@ -166,6 +167,7 @@ class RunManifest:
     segments: list[dict[str, Any]] = field(default_factory=list)
     breaker_events: list[dict[str, Any]] = field(default_factory=list)
     breaker_state: str = "closed"
+    poisoned: list[str] = field(default_factory=list)
 
     def add_segment(self, event: str) -> None:
         """Record one process lifetime touching this run.
@@ -201,6 +203,7 @@ class RunManifest:
             "segments": self.segments,
             "breaker_events": self.breaker_events,
             "breaker_state": self.breaker_state,
+            "poisoned": self.poisoned,
         }
 
     def save(self, run_dir: str | Path) -> Path:
@@ -240,6 +243,7 @@ class RunManifest:
                 segments=list(raw.get("segments", [])),
                 breaker_events=list(raw.get("breaker_events", [])),
                 breaker_state=raw.get("breaker_state", "closed"),
+                poisoned=list(raw.get("poisoned", [])),
             )
         except KeyError as exc:
             raise CheckpointError(

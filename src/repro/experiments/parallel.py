@@ -96,6 +96,7 @@ from repro.experiments.runner import (
     prepare_checkpoint,
     resolve_finalize,
 )
+from repro.experiments.supervisor import interrupt_shield, sigterm_as_interrupt
 
 __all__ = [
     "PlanHandle",
@@ -585,66 +586,82 @@ def run_parallel_experiment(
                 stop_event.set()
 
         try:
-            while done < len(processes):
-                try:
-                    message = result_q.get(timeout=_POLL_S)
-                except Empty:
+            # SIGTERM (scheduler kill) behaves like ctrl-C: one
+            # KeyboardInterrupt, then the shielded drain below.
+            with sigterm_as_interrupt():
+                while done < len(processes):
+                    try:
+                        message = result_q.get(timeout=_POLL_S)
+                    except Empty:
+                        check_deadline()
+                        dead = [
+                            p for p in processes
+                            if not p.is_alive() and p.exitcode not in (0, None)
+                        ]
+                        if dead and crash_trace is None:
+                            # A shard died without reporting (OOM-killed,
+                            # or the interpreter itself failed): nothing
+                            # more will arrive from it, so account it as
+                            # crashed and stop the rest.
+                            crash_trace = (
+                                f"shard process(es) "
+                                f"{[p.name for p in dead]} exited without "
+                                "a result (killed?)"
+                            )
+                            stop_event.set()
+                            done += len(dead)
+                        continue
+                    handle(message)
                     check_deadline()
-                    dead = [
-                        p for p in processes
-                        if not p.is_alive() and p.exitcode not in (0, None)
-                    ]
-                    if dead and crash_trace is None:
-                        # A shard died without reporting (OOM-killed, or
-                        # the interpreter itself failed): nothing more
-                        # will arrive from it, so account it as crashed
-                        # and stop the rest.
-                        crash_trace = (
-                            f"shard process(es) "
-                            f"{[p.name for p in dead]} exited without a "
-                            "result (killed?)"
-                        )
-                        stop_event.set()
-                        done += len(dead)
-                    continue
-                handle(message)
-                check_deadline()
         except KeyboardInterrupt:
             abort_status = STATUS_INTERRUPTED
             stop_event.set()
-            # Drain what the workers already finished so the journal is
-            # as complete as a serial interrupt's, then let them exit.
-            drain_deadline = monotonic_clock() + _DRAIN_S
+        # From here to the manifest flush nothing may be skipped by a
+        # late ctrl-C / SIGTERM: drain, teardown, and the _finish calls
+        # below run under an interrupt shield (a further interrupt only
+        # cuts the drain short — it can no longer race worker teardown
+        # out of the checkpoint writes that make exit 130 resumable).
+        with interrupt_shield() as latch:
             try:
-                while done < len(processes) and monotonic_clock() < drain_deadline:
-                    try:
-                        handle(result_q.get(timeout=_POLL_S))
-                    except Empty:
-                        if all(not p.is_alive() for p in processes):
-                            break
-            except KeyboardInterrupt:
-                pass  # second interrupt: stop draining, clean up now
-        finally:
-            for process in processes:
-                process.join(timeout=10.0)
-            for process in processes:
-                if process.is_alive():
-                    process.terminate()
-                    process.join(timeout=5.0)
-            result_q.close()
+                if abort_status == STATUS_INTERRUPTED and done < len(processes):
+                    # Drain what the workers already finished so the
+                    # journal is as complete as a serial interrupt's,
+                    # then let them exit.
+                    drain_deadline = monotonic_clock() + _DRAIN_S
+                    while (
+                        done < len(processes)
+                        and monotonic_clock() < drain_deadline
+                        and not latch.interrupted
+                    ):
+                        try:
+                            handle(result_q.get(timeout=_POLL_S))
+                        except Empty:
+                            if all(not p.is_alive() for p in processes):
+                                break
+            finally:
+                for process in processes:
+                    process.join(timeout=10.0)
+                for process in processes:
+                    if process.is_alive():
+                        process.terminate()
+                        process.join(timeout=5.0)
+                result_q.close()
 
-        if crash_trace is not None and abort_status is None:
-            # Parity with the serial loop, where a non-contained
-            # exception propagates to the caller as a programming error
-            # (the manifest stays ``running``; the run dir is resumable).
-            raise RuntimeError(f"parallel shard crashed:\n{crash_trace}")
+            if crash_trace is not None and abort_status is None:
+                # Parity with the serial loop, where a non-contained
+                # exception propagates to the caller as a programming
+                # error (the manifest stays ``running``; the run dir
+                # remains resumable).
+                raise RuntimeError(f"parallel shard crashed:\n{crash_trace}")
 
-    if abort_status == STATUS_INVARIANT:
-        return _finish(STATUS_INVARIANT, error=abort_error)
-    if abort_status == STATUS_INTERRUPTED:
-        return _finish(STATUS_INTERRUPTED)
-    if abort_status == STATUS_DEADLINE:
-        return _finish(STATUS_DEADLINE)
+            if abort_status is None and latch.interrupted:
+                abort_status = STATUS_INTERRUPTED
+            if abort_status is not None:
+                if abort_status == STATUS_INVARIANT:
+                    return _finish(STATUS_INVARIANT, error=abort_error)
+                if abort_status == STATUS_INTERRUPTED:
+                    return _finish(STATUS_INTERRUPTED)
+                return _finish(STATUS_DEADLINE)
 
     merged = _ordered_successes(plan, resumed_results, live_results)
     if len(merged) < plan.min_successes:

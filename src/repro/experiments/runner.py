@@ -34,6 +34,11 @@ Exit codes (also used by ``python -m repro.experiments``):
 :data:`EXIT_REPRO` (4)         a :class:`~repro.errors.ReproError` outside
                                trial containment (e.g. during finalize)
 :data:`EXIT_CONFIG_MISMATCH` (5)  ``--resume`` config hash mismatch
+:data:`EXIT_INVARIANT` (6)     a runtime invariant tripped: model state
+                               (or pool bookkeeping) untrusted
+:data:`EXIT_POISONED` (8)      the worker pool quarantined poison trials
+                               (they repeatedly killed their workers);
+                               the rest of the artifact is journaled
 :data:`EXIT_DEADLINE` (75)     soft deadline hit after checkpointing
                                (EX_TEMPFAIL: re-run with ``--resume``)
 :data:`EXIT_INTERRUPTED` (130) SIGINT/SIGTERM after checkpointing
@@ -65,6 +70,7 @@ from repro.experiments.checkpoint import (
     STATUS_INSUFFICIENT,
     STATUS_INTERRUPTED,
     STATUS_INVARIANT,
+    STATUS_POISONED,
     STATUS_RUNNING,
     CheckpointJournal,
     RunManifest,
@@ -79,6 +85,7 @@ EXIT_INSUFFICIENT = 3
 EXIT_REPRO = 4
 EXIT_CONFIG_MISMATCH = 5
 EXIT_INVARIANT = 6  # a runtime invariant tripped: model state untrusted
+EXIT_POISONED = 8  # pool quarantined worker-killing trials; rest journaled
 EXIT_DEADLINE = 75  # EX_TEMPFAIL: partial, resumable
 EXIT_INTERRUPTED = 130  # 128 + SIGINT, conventionally
 
@@ -87,6 +94,7 @@ _STATUS_EXIT = {
     STATUS_INSUFFICIENT: EXIT_INSUFFICIENT,
     STATUS_FAILED: EXIT_REPRO,
     STATUS_INVARIANT: EXIT_INVARIANT,
+    STATUS_POISONED: EXIT_POISONED,
     STATUS_DEADLINE: EXIT_DEADLINE,
     STATUS_INTERRUPTED: EXIT_INTERRUPTED,
 }
@@ -346,6 +354,9 @@ class RunOutcome:
     skipped: int = 0
     breaker_events: list[dict[str, Any]] = field(default_factory=list)
     elapsed_s: float = 0.0
+    #: Pool-executor telemetry (respawns, plan reuses, degradation,
+    #: poisoned trial keys) — in-memory only, ``None`` off the pool path.
+    pool: dict[str, Any] | None = None
 
     @property
     def exit_code(self) -> int:
@@ -494,6 +505,7 @@ def run_experiment(
     workers: int = 1,
     shard_strategy: str = "interleave",
     plan_source: Callable[[], "ExperimentPlan"] | None = None,
+    executor: str = "auto",
 ) -> RunOutcome:
     """Execute *plan* under supervision; never raises for expected
     failure modes (they land in the returned :class:`RunOutcome`).
@@ -502,27 +514,56 @@ def run_experiment(
     continued from a previous segment.  Without it, the run is in-memory
     only — same loop, no persistence.
 
-    With ``workers > 1`` the plan's trials are partitioned across spawned
-    worker processes by *shard_strategy* and executed by
-    :mod:`repro.experiments.parallel`; *plan_source* must then be a
+    With ``workers > 1`` the plan's trials are partitioned across worker
+    processes by *shard_strategy*; *plan_source* must then be a
     picklable zero-argument plan factory (e.g. a
     :class:`~repro.experiments.parallel.PlanHandle`) unless the plan
     itself pickles.  A parallel run is observation-equivalent to this
     serial loop: same journal, same manifest, same finalized artifact
     (see ``docs/parallel.md``).
+
+    *executor* picks the multi-process engine:
+
+    ``"auto"``
+        The supervised persistent pool (:mod:`repro.experiments.pool`),
+        which degrades to the serial loop in-process when its cost model
+        says parallelism doesn't pay on this host.
+    ``"pool"``
+        The persistent pool, unconditionally (no cost-model degrade).
+    ``"spawn"``
+        The one-shot spawn-per-run executor
+        (:mod:`repro.experiments.parallel`).
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if executor not in ("auto", "pool", "spawn"):
+        raise ValueError(
+            f"executor must be 'auto', 'pool' or 'spawn', got {executor!r}"
+        )
     if workers > 1:
-        from repro.experiments.parallel import run_parallel_experiment
-
         if fault_injector is not None:
             raise ValueError(
                 "parallel runs build one FaultInjector per worker from "
                 "plan.fault_plan; passing a shared fault_injector across "
                 "processes is not supported"
             )
-        return run_parallel_experiment(
+        if executor == "spawn":
+            from repro.experiments.parallel import run_parallel_experiment
+
+            return run_parallel_experiment(
+                plan,
+                plan_source=plan_source,
+                workers=workers,
+                shard_strategy=shard_strategy,
+                run_dir=run_dir,
+                resume=resume,
+                deadline_s=deadline_s,
+                breaker=breaker,
+                catch=catch,
+            )
+        from repro.experiments.pool import run_pool_experiment
+
+        return run_pool_experiment(
             plan,
             plan_source=plan_source,
             workers=workers,
@@ -532,6 +573,7 @@ def run_experiment(
             deadline_s=deadline_s,
             breaker=breaker,
             catch=catch,
+            executor=executor,
         )
 
     started = monotonic_clock()

@@ -49,6 +49,15 @@ class FaultSite(enum.Enum):
                                 the OS handler could have served it
     ``PREEMPTION``              the idling actor is preempted for
                                 ``magnitude_cycles`` and resumes late
+    ``POOL_WORKER_CRASH``       the pool worker executing the trial is
+                                SIGKILLed before the trial runs (chaos for the
+                                supervised executor's respawn/requeue path)
+    ``POOL_WORKER_STALL``       the pool worker stops heartbeating and hangs
+                                before the trial (``magnitude_cycles`` µs·10⁶,
+                                capped) until the parent's hang watchdog kills it
+    ``POOL_RESULT_CORRUPT``     the worker's checksummed shared-memory result
+                                frame for the trial is garbled in flight, so the
+                                parent must detect it via CRC and heal
     ==========================  =====================================================
     """
 
@@ -61,6 +70,9 @@ class FaultSite(enum.Enum):
     WQ_DRAIN = "wq_drain"
     PRS_DROP = "prs_drop"
     PREEMPTION = "preemption"
+    POOL_WORKER_CRASH = "pool_worker_crash"
+    POOL_WORKER_STALL = "pool_worker_stall"
+    POOL_RESULT_CORRUPT = "pool_result_corrupt"
 
 
 #: ``kind`` values accepted by ``COMPLETION_ERROR`` specs.

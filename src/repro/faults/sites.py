@@ -36,6 +36,9 @@ SITE_OWNERS: Mapping[FaultSite, tuple[str, ...]] = MappingProxyType(
         FaultSite.WQ_DRAIN: ("repro.dsa.device",),
         FaultSite.PRS_DROP: ("repro.ats.prs",),
         FaultSite.PREEMPTION: ("repro.virt.scheduler",),
+        FaultSite.POOL_WORKER_CRASH: ("repro.experiments.pool",),
+        FaultSite.POOL_WORKER_STALL: ("repro.experiments.pool",),
+        FaultSite.POOL_RESULT_CORRUPT: ("repro.experiments.pool",),
     }
 )
 
@@ -68,6 +71,17 @@ DEVICE_SITES: tuple[FaultSite, ...] = (
 
 #: Sites a :meth:`FaultInjector.attach_timeline` hook-up registers.
 TIMELINE_SITES: tuple[FaultSite, ...] = (FaultSite.PREEMPTION,)
+
+#: Executor-layer sites the persistent worker pool registers on each
+#: per-worker injector (:mod:`repro.experiments.pool`).  These target
+#: the *execution substrate* — the worker process, its heartbeat, its
+#: result stream — not the simulated hardware, so no device/timeline
+#: attachment registers them.
+POOL_SITES: tuple[FaultSite, ...] = (
+    FaultSite.POOL_WORKER_CRASH,
+    FaultSite.POOL_WORKER_STALL,
+    FaultSite.POOL_RESULT_CORRUPT,
+)
 
 
 def coerce_site(site: "FaultSite | str") -> FaultSite:

@@ -36,6 +36,7 @@ from repro.invariants.monitor import (
     MonitorMode,
     coerce_mode,
 )
+from repro.invariants.pool import PoolStateChecker
 
 __all__ = [
     "ArbiterFairnessChecker",
@@ -47,6 +48,7 @@ __all__ = [
     "InvariantViolation",
     "MonitorMode",
     "MUTATING_METHODS",
+    "PoolStateChecker",
     "TimelineChecker",
     "WqCreditChecker",
     "coerce_mode",

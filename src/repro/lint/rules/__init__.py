@@ -16,6 +16,7 @@ from repro.lint.rules.det003_ordering import OrderingChecker
 from repro.lint.rules.exc001_broad_except import BroadExceptChecker
 from repro.lint.rules.fuz001_fuzz_rng import FuzzRngChecker
 from repro.lint.rules.par001_worker_closures import WorkerClosureChecker
+from repro.lint.rules.par002_pool_resources import PoolResourceChecker
 from repro.lint.rules.sim001_fault_sites import FaultSiteChecker
 from repro.lint.rules.sim002_guarded_fields import GuardedFieldChecker
 
@@ -28,6 +29,7 @@ ALL_CHECKERS: tuple[type[Checker], ...] = (
     BroadExceptChecker,
     FuzzRngChecker,
     WorkerClosureChecker,
+    PoolResourceChecker,
     FaultSiteChecker,
     GuardedFieldChecker,
 )
@@ -45,6 +47,7 @@ __all__ = [
     "FuzzRngChecker",
     "GuardedFieldChecker",
     "OrderingChecker",
+    "PoolResourceChecker",
     "TrialKeyChecker",
     "UnseededRngChecker",
     "WallClockChecker",

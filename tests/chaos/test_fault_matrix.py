@@ -30,7 +30,7 @@ from repro.experiments.checkpoint import CheckpointJournal
 from repro.experiments.guard import _unacknowledged, run_guarded_trials
 from repro.experiments.runner import ExperimentPlan, TrialSpec, run_experiment
 from repro.faults import FaultPlan, FaultSite
-from repro.faults.sites import DEVICE_SITES, TIMELINE_SITES
+from repro.faults.sites import DEVICE_SITES, POOL_SITES, TIMELINE_SITES
 from repro.hw.clock import TscClock
 from repro.invariants import InvariantMonitor
 from repro.virt.scheduler import Timeline
@@ -88,9 +88,17 @@ DEVICE_MATRIX = {
 
 class TestMatrixCoversEverySite:
     def test_registry_is_fully_enumerated(self):
-        """A new FaultSite must join this matrix to pass."""
+        """A new FaultSite must join this matrix to pass.
+
+        Pool sites live in their own matrix
+        (``tests/chaos/test_pool_fault_matrix.py``) because they fire
+        inside pool workers, not inside device trials.
+        """
         assert set(DEVICE_MATRIX) == set(DEVICE_SITES)
-        assert set(DEVICE_SITES) | set(TIMELINE_SITES) == set(FaultSite)
+        assert (
+            set(DEVICE_SITES) | set(TIMELINE_SITES) | set(POOL_SITES)
+            == set(FaultSite)
+        )
 
     @pytest.mark.parametrize(
         "site", sorted(DEVICE_MATRIX, key=lambda s: s.value)
@@ -417,12 +425,18 @@ class TestParallelFaultMatrix:
     surfaces as a typed journaled outcome or fails its trial — never a
     green trial over an unacknowledged ledger."""
 
-    @pytest.mark.parametrize("site", sorted(FaultSite, key=lambda s: s.value))
+    @pytest.mark.parametrize(
+        "site",
+        sorted(set(FaultSite) - set(POOL_SITES), key=lambda s: s.value),
+    )
     def test_site_is_handled_or_detected_in_sharded_run(self, site, tmp_path):
+        # Pool sites fire inside pool workers, not inside trials; their
+        # handled-or-detected coverage is test_pool_fault_matrix.py.
         run_experiment(
             _parallel_matrix_plan(site.value),
             run_dir=tmp_path,
             workers=2,
+            executor="spawn",
             plan_source=functools.partial(_parallel_matrix_plan, site.value),
         )
         journal = CheckpointJournal.load(tmp_path)
@@ -450,6 +464,7 @@ class TestParallelFaultMatrix:
             _absorbing_plan(),
             run_dir=tmp_path,
             workers=2,
+            executor="spawn",
             plan_source=_absorbing_plan,
         )
         assert outcome.failed == 1

@@ -14,6 +14,7 @@ from repro.errors import ConfigurationError
 from repro.faults import FaultInjector, FaultPlan, FaultSite
 from repro.faults.sites import (
     DEVICE_SITES,
+    POOL_SITES,
     SITE_OWNERS,
     TIMELINE_SITES,
     coerce_site,
@@ -47,9 +48,12 @@ class TestSiteMap:
     def test_every_site_has_an_owner(self):
         assert set(SITE_OWNERS) == set(FaultSite)
 
-    def test_device_and_timeline_sites_partition_the_enum(self):
-        assert set(DEVICE_SITES) | set(TIMELINE_SITES) == set(FaultSite)
-        assert not set(DEVICE_SITES) & set(TIMELINE_SITES)
+    def test_site_families_partition_the_enum(self):
+        families = (set(DEVICE_SITES), set(TIMELINE_SITES), set(POOL_SITES))
+        assert set().union(*families) == set(FaultSite)
+        for i, left in enumerate(families):
+            for right in families[i + 1:]:
+                assert not left & right
 
     def test_coerce_site_accepts_enum_and_value(self):
         assert coerce_site(FaultSite.PRS_DROP) is FaultSite.PRS_DROP
@@ -79,7 +83,21 @@ class TestRegistry:
         injector = make_injector()
         injector.attach_device(FakeDevice())
         injector.attach_timeline(FakeTimeline())
+        assert set(injector.registered_sites) == (
+            set(DEVICE_SITES) | set(TIMELINE_SITES)
+        )
+
+    def test_pool_sites_register_individually(self):
+        # Pool sites have no attach_* helper: each pool worker registers
+        # them by hand (repro.experiments.pool), one owner per injector.
+        injector = make_injector()
+        injector.attach_device(FakeDevice())
+        injector.attach_timeline(FakeTimeline())
+        for site in POOL_SITES:
+            injector.register_site(site, "pool-worker-0")
         assert set(injector.registered_sites) == set(FaultSite)
+        with pytest.raises(ConfigurationError, match="already hooked"):
+            injector.register_site(POOL_SITES[0], "pool-worker-1")
 
     def test_double_device_attach_raises(self):
         injector = make_injector()

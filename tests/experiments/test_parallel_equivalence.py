@@ -145,6 +145,9 @@ def _assert_parallel_matches_serial(
         run_dir=parallel_dir,
         workers=workers,
         shard_strategy=shard,
+        # This suite documents the one-shot spawn executor; the pool
+        # executor has its own suite (test_pool_equivalence.py).
+        executor="spawn",
         plan_source=plan_source,
     )
     assert serial.status == STATUS_COMPLETED
@@ -185,6 +188,7 @@ class TestFig09Parallel:
             _interrupted_fig09_plan(1),
             run_dir=run_dir,
             workers=2,
+            executor="spawn",
             plan_source=functools.partial(_interrupted_fig09_plan, 1),
         )
         assert interrupted.status == STATUS_INTERRUPTED
@@ -195,6 +199,7 @@ class TestFig09Parallel:
             run_dir=run_dir,
             resume=True,
             workers=3,
+            executor="spawn",
             plan_source=fig09_covert.plan_source(**FIG09_CONFIG),
         )
         assert resumed.status == STATUS_COMPLETED

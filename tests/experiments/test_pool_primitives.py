@@ -1,0 +1,268 @@
+"""Unit coverage for the pool's building blocks: the checksummed
+shared-memory result ring, frame assembly, the heartbeat scoreboard,
+respawn backoff, the poison ledger, the cost model, and the interrupt
+plumbing the parent relies on to drain cleanly.
+"""
+
+import multiprocessing
+import os
+import pickle
+import signal
+import threading
+
+import pytest
+
+from repro.experiments.pool import (
+    FrameAssembler,
+    PoolProtocolError,
+    ShmRing,
+    _encode_frame,
+)
+from repro.experiments.supervisor import (
+    CostModel,
+    HeartbeatBoard,
+    PoisonLedger,
+    PoolConfig,
+    RespawnBackoff,
+    interrupt_shield,
+    sigterm_as_interrupt,
+)
+
+
+@pytest.fixture
+def ring():
+    lock = multiprocessing.get_context("spawn").Lock()
+    with ShmRing.create(lock, capacity=4096) as owner:
+        yield owner
+
+
+class TestShmRing:
+    def test_roundtrip_preserves_frame_bytes(self, ring):
+        payload = _encode_frame(pickle.dumps({"hello": "pool"}))
+        ring.write(payload)
+        assert ring.read() == payload
+
+    def test_chunked_reads_reassemble(self, ring):
+        payload = _encode_frame(os.urandom(900))
+        ring.write(payload)
+        chunks = []
+        while True:
+            chunk = ring.read(max_bytes=64)
+            if not chunk:
+                break
+            chunks.append(chunk)
+        assert b"".join(chunks) == payload
+
+    def test_wraparound_write_larger_than_free_space(self, ring):
+        """A writer blocked on a full ring resumes as the reader drains,
+        and the bytes still arrive in order across the wrap point."""
+        first = _encode_frame(b"a" * 3000)
+        second = _encode_frame(b"b" * 3000)  # does not fit alongside first
+        ring.write(first)
+        writer = threading.Thread(target=ring.write, args=(second,))
+        writer.start()
+        received = bytearray()
+        while len(received) < len(first) + len(second):
+            received.extend(ring.read())
+        writer.join(timeout=5)
+        assert not writer.is_alive()
+        assert bytes(received) == first + second
+
+    def test_corrupt_header_trips_protocol_error(self, ring):
+        ring.write(_encode_frame(b"x"))
+        ring._shm.buf[0:8] = (2**63).to_bytes(8, "little")  # absurd head
+        with pytest.raises(PoolProtocolError):
+            ring.read()
+
+    def test_attach_then_owner_unlink(self):
+        lock = multiprocessing.get_context("spawn").Lock()
+        owner = ShmRing.create(lock, capacity=4096)
+        try:
+            attached = ShmRing.attach(owner.name, lock, capacity=4096)
+            attached.write(_encode_frame(b"from-attacher"))
+            assert ring_read_all(owner) == _encode_frame(b"from-attacher")
+            attached.close()
+        finally:
+            owner.close()
+
+    def test_close_is_idempotent(self, ring):
+        ring.close()
+        ring.close()
+
+
+def ring_read_all(ring) -> bytes:
+    data = bytearray()
+    while True:
+        chunk = ring.read()
+        if not chunk:
+            return bytes(data)
+        data.extend(chunk)
+
+
+class TestFrameAssembler:
+    def test_split_delivery_reassembles_frames(self):
+        frames = [pickle.dumps(i) for i in range(3)]
+        stream = b"".join(_encode_frame(f) for f in frames)
+        assembler = FrameAssembler()
+        out = []
+        for i in range(0, len(stream), 7):
+            out.extend(assembler.feed(stream[i:i + 7]))
+        assert out == frames
+
+    def test_crc_mismatch_raises(self):
+        frame = bytearray(_encode_frame(b"payload"))
+        frame[-1] ^= 0xFF
+        with pytest.raises(PoolProtocolError, match="checksum"):
+            FrameAssembler().feed(bytes(frame))
+
+    def test_bad_magic_raises(self):
+        frame = b"XXXX" + _encode_frame(b"payload")[4:]
+        with pytest.raises(PoolProtocolError):
+            FrameAssembler().feed(frame)
+
+
+class TestHeartbeatBoard:
+    def test_beat_read_roundtrip(self):
+        with HeartbeatBoard(2) as board:
+            board.beat(1, trial=7, shard=3)
+            beat = board.read(1)
+            assert (beat.counter, beat.trial, beat.shard) == (1, 7, 3)
+            assert beat.timestamp > 0
+            assert board.read(0).counter == 0
+
+    def test_attacher_writes_what_the_owner_reads(self):
+        with HeartbeatBoard(2) as board:
+            worker_view = HeartbeatBoard.attach(board.name, 2)
+            try:
+                worker_view.beat(0, trial=5, shard=1)
+            finally:
+                worker_view.close()
+            assert board.read(0).trial == 5
+
+    def test_reset_zeroes_a_slot(self):
+        with HeartbeatBoard(1) as board:
+            board.beat(0, trial=3, shard=2)
+            board.reset(0)
+            assert board.read(0).counter == 0
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError):
+            HeartbeatBoard(0)
+
+
+class TestRespawnBackoff:
+    def test_delays_double_up_to_the_cap(self):
+        backoff = RespawnBackoff(base_s=0.05, cap_s=0.4)
+        delays = [backoff.next_delay() for _ in range(6)]
+        assert delays == [0.05, 0.1, 0.2, 0.4, 0.4, 0.4]
+
+    def test_reset_returns_to_fast_respawns(self):
+        backoff = RespawnBackoff(base_s=0.05, cap_s=0.4)
+        for _ in range(4):
+            backoff.next_delay()
+        backoff.reset()
+        assert backoff.next_delay() == 0.05
+
+
+class TestPoisonLedger:
+    def test_first_strike_is_forgiven(self):
+        ledger = PoisonLedger(threshold=2)
+        assert not ledger.strike("fig09/0", "worker died")
+        assert not ledger.is_poisoned("fig09/0")
+        assert ledger.struck == ("fig09/0",)
+
+    def test_threshold_strikes_quarantine(self):
+        ledger = PoisonLedger(threshold=2)
+        ledger.strike("fig09/0", "worker died")
+        assert ledger.strike("fig09/0", "worker died again")
+        assert ledger.poisoned == ("fig09/0",)
+        assert ledger.reasons["fig09/0"] == [
+            "worker died", "worker died again",
+        ]
+
+    def test_threshold_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            PoisonLedger(threshold=0)
+
+
+class TestCostModel:
+    def test_single_effective_cpu_never_pays(self):
+        pays, reason = CostModel().parallel_pays(
+            "fig09", pending=100, workers=4, cpu_count=1, pool_warm=True
+        )
+        assert not pays and "effective parallelism is 1" in reason
+
+    def test_unmeasured_plan_gets_the_benefit_of_the_doubt(self):
+        pays, reason = CostModel().parallel_pays(
+            "fig09", pending=10, workers=2, cpu_count=4, pool_warm=False
+        )
+        assert pays and "no cost data" in reason
+
+    def test_tiny_trials_on_a_cold_pool_do_not_pay(self):
+        model = CostModel(spawn_overhead_s=0.35)
+        model.observe("fig09", 0.001)
+        pays, _ = model.parallel_pays(
+            "fig09", pending=4, workers=2, cpu_count=4, pool_warm=False
+        )
+        assert not pays
+
+    def test_warm_pool_flips_the_same_workload_to_paying(self):
+        model = CostModel(spawn_overhead_s=0.35, dispatch_overhead_s=0.0)
+        model.observe("fig09", 0.1)
+        cold, _ = model.parallel_pays(
+            "fig09", pending=4, workers=2, cpu_count=4, pool_warm=False
+        )
+        warm, _ = model.parallel_pays(
+            "fig09", pending=4, workers=2, cpu_count=4, pool_warm=True
+        )
+        assert not cold and warm
+
+    def test_observe_is_an_ewma_not_a_last_sample(self):
+        model = CostModel(alpha=0.5)
+        model.observe("fig09", 1.0)
+        model.observe("fig09", 0.0)
+        assert model.estimate("fig09") == pytest.approx(0.5)
+
+
+class TestPoolConfig:
+    def test_hang_deadline_scales_with_longest_trial(self):
+        config = PoolConfig(hang_floor_s=30.0, hang_factor=3.0)
+        assert config.hang_deadline_s(1.0) == 30.0
+        assert config.hang_deadline_s(20.0) == 60.0
+
+    def test_rejects_tiny_ring(self):
+        with pytest.raises(ValueError):
+            PoolConfig(ring_bytes=16)
+
+
+class TestInterruptPlumbing:
+    def test_shield_latches_sigint_without_raising(self):
+        with interrupt_shield() as latch:
+            os.kill(os.getpid(), signal.SIGINT)
+            # the handler runs synchronously on the main thread
+            assert latch.interrupted
+            assert latch.count == 1
+            assert signal.SIGINT in latch.signals
+
+    def test_shield_latches_sigterm_too(self):
+        with interrupt_shield() as latch:
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert latch.interrupted
+
+    def test_sigterm_as_interrupt_raises_keyboard_interrupt(self):
+        with pytest.raises(KeyboardInterrupt):
+            with sigterm_as_interrupt():
+                os.kill(os.getpid(), signal.SIGTERM)
+
+    def test_handlers_are_restored_after_the_shield(self):
+        before = (
+            signal.getsignal(signal.SIGINT),
+            signal.getsignal(signal.SIGTERM),
+        )
+        with interrupt_shield():
+            pass
+        after = (
+            signal.getsignal(signal.SIGINT),
+            signal.getsignal(signal.SIGTERM),
+        )
+        assert before == after

@@ -1,0 +1,32 @@
+# repro-lint-fixture-module: repro.experiments.fixture_par002
+"""PAR002 positive fixture: pool resources acquired with no release."""
+
+from multiprocessing import shared_memory
+
+from repro.experiments.pool import ShmRing
+from repro.experiments.supervisor import HeartbeatBoard
+
+
+def bare_segment(slots):
+    shm = shared_memory.SharedMemory(create=True, size=slots)
+    return shm.name  # the handle itself is dropped, segment leaks
+
+
+def unmanaged_ring(lock, capacity):
+    ring = ShmRing.create(lock, capacity)
+    ring.write(b"payload")
+    ring.close()  # not reached if write raises: no finally, no with
+
+
+def unmanaged_attach(name, lock, capacity):
+    ring = ShmRing.attach(name, lock, capacity)
+    return ring.read()
+
+
+def board_without_owner(workers):
+    board = HeartbeatBoard(workers)
+    board.beat(0)
+
+
+def attach_expression_statement(name, slots):
+    HeartbeatBoard.attach(name, slots).read(0)
