@@ -61,17 +61,19 @@ BENCH_PATH = Path(
 )
 
 
+# Scaling benchmarks time the real host: injectable clocks would defeat
+# the measurement, hence the DET002 suppressions below.
 def _timed_run(workers: int) -> tuple[float, bytes]:
     plan = fig09_covert.trial_plan(**FIG09_CONFIG)
     source = fig09_covert.plan_source(**FIG09_CONFIG) if workers > 1 else None
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro-lint: ignore[DET002]
     outcome = run_experiment(
         plan,
         workers=workers,
         executor="spawn" if workers > 1 else "auto",
         plan_source=source,
     )
-    elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - start  # repro-lint: ignore[DET002]
     assert outcome.status == "completed", outcome.status
     return elapsed, pickle.dumps(outcome.result, protocol=4)
 
@@ -79,11 +81,11 @@ def _timed_run(workers: int) -> tuple[float, bytes]:
 def _small_run(executor: str) -> tuple[float, bytes]:
     plan = fig09_covert.trial_plan(**POOL_CONFIG)
     source = fig09_covert.plan_source(**POOL_CONFIG)
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro-lint: ignore[DET002]
     outcome = run_experiment(
         plan, workers=2, executor=executor, plan_source=source
     )
-    elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - start  # repro-lint: ignore[DET002]
     assert outcome.status == "completed", outcome.status
     return elapsed, pickle.dumps(outcome.result, protocol=4)
 

@@ -22,9 +22,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro.experiments import fig11_wf_classification, fig12_keystrokes, fig13_llm
+from repro.experiments.runner import monotonic_clock
 from repro.experiments.wf_common import PAPER_SCALE, WfSamplerSettings
 
 
@@ -79,9 +79,9 @@ def main(argv: list[str] | None = None) -> int:
         subparser.add_argument("--seed", type=int, default=2026)
 
     args = parser.parse_args(argv)
-    started = time.time()
+    started = monotonic_clock()
     args.runner(args)
-    print(f"({time.time() - started:.0f}s)")
+    print(f"({monotonic_clock() - started:.0f}s)")
     return 0
 
 

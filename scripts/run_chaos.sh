@@ -6,7 +6,9 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 # Preflight: chaos evidence is only meaningful if the tree obeys the
-# determinism/invariant rules (docs/static-analysis.md).
+# determinism/invariant rules (docs/static-analysis.md) — including
+# the whole-program DET101/DET102/PAR101/EXC101 findings; any new
+# finding fails the run here.
 python -m repro.lint src
 
 # Chaos runs assert "injected faults are either handled or detected":

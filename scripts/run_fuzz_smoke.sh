@@ -21,8 +21,11 @@ FUZZ_SEED="${FUZZ_SEED:-0}"
 FUZZ_TRIALS="${FUZZ_TRIALS:-150}"
 FUZZ_DIR="${FUZZ_DIR:-fuzz-campaign}"
 
-# Lint preflight: the fuzzer's own RNG-hygiene rule (plus the rest).
-python -m repro.lint src/repro/fuzz
+# Lint preflight: the fuzzer's own RNG-hygiene rule plus the
+# whole-program rules — seed provenance and corpus-state taint only
+# resolve with every module's summary in view, so lint all of src
+# (the summary cache keeps warm re-runs fast).
+python -m repro.lint src
 
 # The fuzz-marked pytest scenarios (excluded from tier-1).
 python -m pytest tests/fuzz -o addopts="" -m fuzz -q

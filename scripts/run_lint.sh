@@ -14,6 +14,12 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== repro.lint =="
 python -m repro.lint src "$@"
 
+# SARIF artifact for CI annotation surfaces; the second run is cheap
+# because the summary cache is warm after the gate above.
+SARIF_OUT="${SARIF_OUT:-lint-results.sarif}"
+python -m repro.lint src --format sarif > "$SARIF_OUT" || true
+echo "SARIF written to $SARIF_OUT"
+
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff =="
     ruff check src tests

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Persistent-pool smoke test:
 #
-#   1. lint preflight (includes the PAR002 pool-resource rule),
+#   1. lint preflight (includes the PAR002 pool-resource rule and its
+#      whole-program twins PAR101/EXC101 — cross-process shared-state
+#      writes and resource leaks through helper returns),
 #   2. run a small fig09 sweep serially and again on the supervised
 #      pool (--executor pool, 2 workers), byte-compare the artifacts,
 #   3. run the pytest suites marked `pool` (excluded from tier-1):

@@ -289,7 +289,11 @@ def _worker_main(
             if plan.fault_plan is not None
             else None
         )
-        _WORKER_CONTEXT = WorkerContext(
+        # Intentional per-process singleton: written exactly once at
+        # worker startup (before any trial runs) and only ever read by
+        # the accessors above — divergence across workers is the point,
+        # each worker must see its *own* injector.
+        _WORKER_CONTEXT = WorkerContext(  # repro-lint: ignore[PAR101]
             worker_id=worker_id, workers=workers, fault_injector=injector
         )
 

@@ -4,15 +4,23 @@ Usage::
 
     python -m repro.lint                     # lint src/ against the baseline
     python -m repro.lint src tests/foo.py    # explicit targets
+    python -m repro.lint --scope all         # src + tests + benchmarks + scripts
     python -m repro.lint --format json       # machine-readable output
-    python -m repro.lint --select DET001,DET002
+    python -m repro.lint --format sarif      # SARIF 2.1.0 for CI annotations
+    python -m repro.lint --select DET001,DET101
     python -m repro.lint --ignore EXC001
+    python -m repro.lint --no-cache          # force a cold whole-repo analysis
     python -m repro.lint --write-baseline    # grandfather current findings
     python -m repro.lint --list-rules
 
 Exit codes: ``0`` no new findings, ``1`` findings reported, ``2`` usage
 error.  A finding already recorded in the baseline file (default
 ``lint-baseline.json`` when it exists) is counted but not fatal.
+
+Phase-1 module summaries are cached in ``.repro-lint-cache.json``
+(git-ignored) keyed by file SHA-256, so warm re-lints only re-analyze
+edited files while the interprocedural phase still sees the whole
+program.  ``--no-cache`` disables both reading and writing it.
 """
 
 from __future__ import annotations
@@ -23,32 +31,53 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from repro.lint.cache import DEFAULT_CACHE
 from repro.lint.engine import (
     DEFAULT_BASELINE,
     Baseline,
     LintEngine,
     LintReport,
 )
-from repro.lint.rules import RULES
+from repro.lint.rules import PROJECT_RULES, RULES
+from repro.lint.sarif import render_sarif
+
+#: ``--scope`` presets: named sets of lint targets relative to --root.
+SCOPES: dict[str, tuple[str, ...]] = {
+    "src": ("src",),
+    "tests": ("src", "tests"),
+    "benchmarks": ("src", "benchmarks"),
+    "scripts": ("src", "scripts"),
+    "all": ("src", "tests", "benchmarks", "scripts"),
+}
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
         description=(
-            "AST-based determinism and simulation-invariant checker for"
-            " the DSAssassin reproduction (see docs/static-analysis.md)."
+            "Whole-program determinism and simulation-invariant checker"
+            " for the DSAssassin reproduction (see"
+            " docs/static-analysis.md)."
         ),
     )
     parser.add_argument(
         "paths",
         nargs="*",
-        default=["src"],
-        help="files or directories to lint (default: src)",
+        help="files or directories to lint (default: the --scope preset)",
+    )
+    parser.add_argument(
+        "--scope",
+        choices=sorted(SCOPES),
+        default="src",
+        help=(
+            "named target preset used when no explicit paths are given;"
+            " non-src scopes always include src so interprocedural rules"
+            " see the whole program (default: src)"
+        ),
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -84,6 +113,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="directory paths are resolved against (default: cwd)",
     )
     parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        default=DEFAULT_CACHE,
+        help=f"module-summary cache file (default: {DEFAULT_CACHE})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the summary cache (cold analysis)",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
@@ -106,8 +146,9 @@ def _print_text(report: LintReport) -> None:
         else "clean"
     )
     print(
-        f"repro.lint: {report.files_checked} files, {total} finding(s)"
-        f" ({tail}); {report.baselined} baselined,"
+        f"repro.lint: {report.files_checked} files"
+        f" ({report.cache_hits} cached, {report.parsed} parsed),"
+        f" {total} finding(s) ({tail}); {report.baselined} baselined,"
         f" {report.suppressed} suppressed"
     )
 
@@ -119,14 +160,20 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.list_rules:
         for rule_id, checker in sorted(RULES.items()):
-            print(f"{rule_id}  {checker.title}")
+            family = "project" if rule_id in PROJECT_RULES else "file"
+            print(f"{rule_id}  [{family:>7}]  {checker.title}")
         return 0
+
+    cache_path = None
+    if not args.no_cache:
+        cache_path = Path(args.root) / args.cache
 
     try:
         engine = LintEngine(
             root=args.root,
             select=_split(args.select),
             ignore=_split(args.ignore),
+            cache_path=cache_path,
         )
     except ValueError as exc:
         parser.error(str(exc))
@@ -141,8 +188,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(f"repro.lint: {exc}", file=sys.stderr)
                 return 2
 
+    paths = args.paths or list(SCOPES[args.scope])
     try:
-        report = engine.run(args.paths, baseline=baseline)
+        report = engine.run(paths, baseline=baseline)
     except FileNotFoundError as exc:
         parser.error(str(exc))
 
@@ -156,6 +204,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.format == "json":
         print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        print(render_sarif(report), end="")
     else:
         _print_text(report)
     return 1 if report.all_findings else 0

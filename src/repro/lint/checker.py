@@ -82,11 +82,31 @@ class FileContext:
     source: str
     tree: ast.Module
     lines: list[str] = field(default_factory=list)
+    _resolver: "ImportResolver | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def resolver(self) -> "ImportResolver":
+        """The file's import resolver, built once and shared by every
+        checker and by the summary extractor (the per-file slice of the
+        project symbol table)."""
+        if self._resolver is None:
+            self._resolver = ImportResolver(self.tree)
+        return self._resolver
 
     @classmethod
     def parse(cls, path: Path, rel: str, module: str) -> "FileContext":
         """Read and parse *path* (raises ``SyntaxError`` on bad source)."""
-        source = path.read_text(encoding="utf-8")
+        return cls.from_source(
+            path.read_text(encoding="utf-8"), path, rel, module
+        )
+
+    @classmethod
+    def from_source(
+        cls, source: str, path: Path, rel: str, module: str
+    ) -> "FileContext":
+        """Parse already-read *source* (raises ``SyntaxError``)."""
         tree = ast.parse(source, filename=str(path))
         ctx = cls(
             path=path,
@@ -204,7 +224,7 @@ class Checker(ast.NodeVisitor):
 
     def __init__(self, ctx: FileContext) -> None:
         self.ctx = ctx
-        self.imports = ImportResolver(ctx.tree)
+        self.imports = ctx.resolver
         self.findings: list[Finding] = []
 
     @classmethod
@@ -232,3 +252,35 @@ class Checker(ast.NodeVisitor):
     def resolve_call(self, node: ast.Call) -> str | None:
         """Dotted origin of a call's callee (aliasing-aware)."""
         return self.imports.resolve(node.func)
+
+
+class ProjectChecker:
+    """Base class for one interprocedural rule over the whole program.
+
+    Where :class:`Checker` sees one file's AST, a project checker sees
+    the phase-2 :class:`~repro.lint.taint.ProjectAnalysis` — the symbol
+    table, call graph, and resolved taint built from every module
+    summary.  Subclasses set :attr:`rule`/:attr:`title` and implement
+    :meth:`check`; findings anchor to the summary-recorded site
+    locations, so no AST is needed at report time (which is what lets
+    cached modules participate without re-parsing).
+    """
+
+    rule: ClassVar[str] = ""
+    title: ClassVar[str] = ""
+
+    def __init__(self) -> None:
+        self.findings: list[Finding] = []
+
+    def report(
+        self, rel: str, line: int, col: int, message: str
+    ) -> None:
+        """Record one finding at an explicit location."""
+        self.findings.append(
+            Finding(path=rel, line=line, col=col, rule=self.rule,
+                    message=message)
+        )
+
+    def check(self, analysis: Any) -> list[Finding]:
+        """Run the rule over *analysis* and return its findings."""
+        raise NotImplementedError

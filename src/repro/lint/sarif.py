@@ -1,0 +1,108 @@
+"""SARIF 2.1.0 output for CI annotation surfaces.
+
+``python -m repro.lint --format sarif`` emits one SARIF log with one
+run: the tool component lists every registered rule (both families,
+with their docstring-derived descriptions), and each finding becomes a
+``result`` with a physical location.  The document targets the SARIF
+2.1.0 schema (validated in ``tests/tools/test_lint_project.py`` against
+the vendored subset schema at ``tests/tools/sarif-2.1.0-subset.json``).
+
+Baselined findings are *omitted* (SARIF has a ``baselineState`` notion,
+but consumers treat any result as actionable) — the committed baseline
+is empty anyway, so in practice the SARIF log mirrors ``--format json``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.lint.engine import LintReport
+from repro.lint.rules import RULES
+
+#: The SARIF version this writer targets.
+SARIF_VERSION = "2.1.0"
+
+#: Canonical schema URI (informational; validation uses a vendored copy).
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Tool identity advertised in the run's driver component.
+TOOL_NAME = "repro-lint"
+TOOL_VERSION = "2.0.0"
+
+
+def _rule_descriptor(rule_id: str) -> dict[str, Any]:
+    checker = RULES[rule_id]
+    doc = (checker.__doc__ or checker.title or rule_id).strip()
+    short = doc.splitlines()[0].strip()
+    return {
+        "id": rule_id,
+        "name": checker.__name__,
+        "shortDescription": {"text": checker.title or short},
+        "fullDescription": {"text": short},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _result(finding_json: dict[str, Any]) -> dict[str, Any]:
+    return {
+        "ruleId": str(finding_json["rule"]),
+        "level": "error",
+        "message": {"text": str(finding_json["message"])},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": str(finding_json["path"]),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": int(finding_json["line"]),
+                        "startColumn": int(finding_json["col"]),
+                    },
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(report: LintReport) -> dict[str, Any]:
+    """*report* as a SARIF 2.1.0 log object."""
+    rules = [_rule_descriptor(rule_id) for rule_id in sorted(RULES)]
+    results = [_result(f.to_json()) for f in report.all_findings]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": TOOL_VERSION,
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/"
+                            "static-analysis"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+                "properties": {
+                    "filesChecked": report.files_checked,
+                    "cacheHits": report.cache_hits,
+                    "parsed": report.parsed,
+                    "suppressed": report.suppressed,
+                    "baselined": report.baselined,
+                },
+            }
+        ],
+    }
+
+
+def render_sarif(report: LintReport) -> str:
+    """*report* as pretty-printed SARIF JSON text."""
+    return json.dumps(to_sarif(report), indent=2, sort_keys=True) + "\n"

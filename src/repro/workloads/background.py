@@ -57,12 +57,13 @@ class BackgroundTenant:
         process: GuestProcess,
         wq_id: int,
         profile: BackgroundProfile | None = None,
-        rng: np.random.Generator | None = None,
+        *,
+        rng: np.random.Generator,
     ) -> None:
         self.process = process
         self.portal = process.portal(wq_id)
         self.profile = profile or BackgroundProfile()
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng
         size = max(self.profile.transfer_bytes, 4096)
         self._src = process.buffer(2 * size)
         self._dst = process.buffer(2 * size)

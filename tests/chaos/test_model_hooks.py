@@ -164,7 +164,9 @@ class TestDeviceAndPrsSites:
     def test_prs_drop_raises_with_pasid(self):
         prs = PageRequestService(handler=lambda pasid, va, write: True)
         injector = _plan_one(FaultSite.PRS_DROP, probability=1.0).build_injector()
-        prs.fault_injector = injector
+        # Direct wiring on purpose: this unit-tests PageRequestService
+        # itself, with no device/system to attach through.
+        prs.fault_injector = injector  # repro-lint: ignore[SIM001]
         with pytest.raises(TranslationFault) as info:
             prs.report(pasid=9, virtual_address=0x2000, write=False, timestamp=0)
         assert info.value.pasid == 9

@@ -206,13 +206,17 @@ def _run_cli_until_sigterm(tmp_path, executor: str) -> tuple[int, Path]:
         stderr=subprocess.DEVNULL,
     )
     try:
-        deadline = time.monotonic() + 120
+        # Watchdog over a real child process: injectable clocks cannot
+        # time out a subprocess that genuinely hung.
+        deadline = time.monotonic() + 120  # repro-lint: ignore[DET002]
         manifest_path = run_dir / MANIFEST_NAME
         while not manifest_path.exists():
             assert proc.poll() is None, (
                 f"CLI exited (rc {proc.returncode}) before checkpointing"
             )
-            assert time.monotonic() < deadline, "manifest never appeared"
+            assert (
+                time.monotonic() < deadline  # repro-lint: ignore[DET002]
+            ), "manifest never appeared"
             time.sleep(0.02)
         time.sleep(0.3)  # let the run get into the multi-process phase
         proc.send_signal(signal.SIGTERM)

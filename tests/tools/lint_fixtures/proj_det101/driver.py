@@ -1,0 +1,15 @@
+# repro-lint-fixture-module: fixproj.driver
+"""Driver: the provenance bug becomes visible only whole-program."""
+
+from fixproj.mid import build, build_blessed
+
+from repro.dsa.fixmodel import consume
+
+
+def bad(run_seed):
+    stream = build()  # unseeded two calls up the chain
+    return consume(stream)
+
+
+def good(run_seed):
+    return consume(build_blessed(run_seed, "trial-0"))

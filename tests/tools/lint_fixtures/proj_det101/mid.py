@@ -1,0 +1,14 @@
+# repro-lint-fixture-module: fixproj.mid
+"""Middle hop: launders the stream through one more call."""
+
+from fixproj.rng_helper import make_seeded_stream, make_stream
+
+from repro.experiments.runner import spawn_trial_seed
+
+
+def build():
+    return make_stream()
+
+
+def build_blessed(run_seed, key):
+    return make_seeded_stream(spawn_trial_seed(run_seed, key))

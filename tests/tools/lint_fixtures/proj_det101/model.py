@@ -1,0 +1,6 @@
+# repro-lint-fixture-module: repro.dsa.fixmodel
+"""Pretend model code: consumes an RNG stream for device timing."""
+
+
+def consume(rng):
+    return rng.integers(0, 8)

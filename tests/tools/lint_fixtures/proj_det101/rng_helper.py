@@ -1,0 +1,14 @@
+# repro-lint-fixture-module: fixproj.rng_helper
+"""Helper module constructing RNG streams — nothing wrong *locally*."""
+
+import numpy as np
+
+
+def make_stream():
+    # Unseeded: OS entropy.  Fine here; a bug only once it reaches model
+    # code (two calls away, in another module).
+    return np.random.default_rng()
+
+
+def make_seeded_stream(seed):
+    return np.random.default_rng(seed)

@@ -1,0 +1,12 @@
+# repro-lint-fixture-module: fixproj.clocky
+"""Helper that reads the (injectable) host clock — legitimate per-file."""
+
+from repro.experiments.runner import wall_clock
+
+
+def stamp():
+    return wall_clock()
+
+
+def label(run_id):
+    return f"run-{run_id}-{stamp()}"

@@ -1,0 +1,26 @@
+# repro-lint-fixture-module: fixproj.writer
+"""Artifact writers: clock taint arriving through two helper hops."""
+
+from fixproj.clocky import label, stamp
+
+from repro.experiments.checkpoint import CheckpointJournal, atomic_write_json
+from repro.experiments.runner import TrialSpec
+
+
+def bad_manifest(run_dir, run_id):
+    payload = {"run": run_id, "started": stamp()}
+    atomic_write_json(run_dir / "manifest.json", payload)
+
+
+def bad_trial_key(run_id, fn):
+    return TrialSpec(key=label(run_id), fn=fn)
+
+
+def good_journal(journal: CheckpointJournal, index, key, result, t0):
+    # elapsed_s is the sanctioned telemetry field (exempt kwarg): the
+    # differential layer strips it before comparing journals.
+    journal.record_success(index, key, result, elapsed_s=stamp() - t0)
+
+
+def good_manifest(run_dir, run_id, config):
+    atomic_write_json(run_dir / "manifest.json", {"run": run_id, "cfg": config})

@@ -1,0 +1,13 @@
+# repro-lint-fixture-module: fixproj.factory
+"""Resource factories: returning an acquisition is sanctioned (PAR002)."""
+
+from repro.experiments.pool import ShmRing
+
+
+def make_ring(lock, capacity):
+    return ShmRing.create(lock, capacity)
+
+
+def make_ring_indirect(lock, capacity):
+    # Still a factory two levels deep — callers own the result.
+    return make_ring(lock, capacity)

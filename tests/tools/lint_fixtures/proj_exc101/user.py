@@ -1,0 +1,34 @@
+# repro-lint-fixture-module: fixproj.user
+"""Consumers: the leak is invisible without the factory's summary."""
+
+from contextlib import ExitStack
+
+from fixproj.factory import make_ring, make_ring_indirect
+
+
+def bad_consume(lock, payload):
+    ring = make_ring(lock, 4096)  # leaked: nothing ever closes it
+    ring.write(payload)
+
+
+def bad_consume_indirect(lock, payload):
+    ring = make_ring_indirect(lock, 4096)  # leaked through two hops
+    ring.write(payload)
+
+
+def good_with_stack(lock, payload):
+    with ExitStack() as stack:
+        ring = stack.enter_context(make_ring(lock, 4096))
+        ring.write(payload)
+
+
+def good_finally(lock, payload):
+    ring = make_ring(lock, 4096)
+    try:
+        ring.write(payload)
+    finally:
+        ring.close()
+
+
+def good_factory_onward(lock):
+    return make_ring(lock, 4096)

@@ -1,0 +1,15 @@
+# repro-lint-fixture-module: repro.experiments.parallel
+"""Negative twin: worker state threaded through returns, no globals."""
+
+
+def _worker_main(payload):
+    seen = []
+    seen.append(payload)
+    return seen
+
+
+def _run_shard(items):
+    out = {}
+    for item in items:
+        out[item] = _worker_main(item)
+    return out

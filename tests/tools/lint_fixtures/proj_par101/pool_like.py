@@ -1,0 +1,24 @@
+# repro-lint-fixture-module: repro.experiments.pool
+"""Pretend pool module: a worker entry point two hops from a global."""
+
+_SEEN = []
+
+
+def _pool_worker_main(payload):
+    return _handle(payload)
+
+
+def _handle(payload):
+    _note(payload)
+    return payload
+
+
+def _note(payload):
+    # Module-level mutable state written from worker-reachable code:
+    # each forked worker mutates its own copy, silently diverging.
+    _SEEN.append(payload)
+
+
+def parent_side_note(payload):
+    # Same write, but not reachable from any worker entry — allowed.
+    _SEEN.append(payload)

@@ -17,7 +17,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.lint import Baseline, LintEngine, RULES
+from repro.lint import PROJECT_RULES, Baseline, LintEngine, RULES
 from repro.lint.__main__ import main as lint_main
 from repro.lint.engine import fingerprint, suppressed_rules
 
@@ -43,16 +43,21 @@ def test_fixture_matches_golden(name):
     )
 
 
-def test_every_rule_has_a_firing_fixture():
+def test_every_file_rule_has_a_firing_fixture():
+    # Project rules (DET101/…) have their own multi-file fixtures under
+    # proj_*/, asserted in test_lint_project.py.
     covered = {rule for findings in EXPECTED.values() for rule, _ in findings}
-    assert covered == set(RULES), (
-        "each rule needs a positive fixture; missing:"
-        f" {set(RULES) - covered}"
+    per_file = set(RULES) - PROJECT_RULES
+    assert covered == per_file, (
+        "each per-file rule needs a positive fixture; missing:"
+        f" {per_file - covered}"
     )
 
 
-def test_every_rule_has_a_negative_fixture():
-    prefixes = {rule.lower() for rule in RULES}
+def test_every_file_rule_has_a_negative_fixture():
+    prefixes = {rule.lower() for rule in RULES} - {
+        rule.lower() for rule in PROJECT_RULES
+    }
     negatives = {
         p.name.split("_negative")[0]
         for p in FIXTURES.glob("*_negative.py")
@@ -159,7 +164,8 @@ def test_syntax_error_becomes_finding(tmp_path):
 # ----------------------------------------------------------------------
 def test_cli_reports_findings_and_exit_code(capsys):
     code = lint_main(
-        ["det001_positive.py", "--root", str(FIXTURES), "--no-baseline"]
+        ["det001_positive.py", "--root", str(FIXTURES), "--no-baseline",
+         "--no-cache"]
     )
     out = capsys.readouterr().out
     assert code == 1
@@ -169,7 +175,8 @@ def test_cli_reports_findings_and_exit_code(capsys):
 
 def test_cli_clean_file_exits_zero(capsys):
     code = lint_main(
-        ["det001_negative.py", "--root", str(FIXTURES), "--no-baseline"]
+        ["det001_negative.py", "--root", str(FIXTURES), "--no-baseline",
+         "--no-cache"]
     )
     assert code == 0
     assert "clean" in capsys.readouterr().out
@@ -182,6 +189,7 @@ def test_cli_json_format(capsys):
             "--root",
             str(FIXTURES),
             "--no-baseline",
+            "--no-cache",
             "--format",
             "json",
         ]
