@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Always-on service smoke test:
+#
+#   1. lint preflight (includes ASY101 — host-blocking calls reachable
+#      from the service's device-time coroutines),
+#   2. clean CLI run: every offer settles, books balance, exit 0,
+#   3. chaos lane: all three SERVICE_* fault sites armed plus the
+#      session-kill coroutine — still exactly accounted, exit 0,
+#   4. SIGTERM drain lane: kill a bigger run mid-flight (expect exit
+#      130 and a drain checkpoint), then --resume it to completion and
+#      check no session was lost across the restart,
+#   5. run the pytest suites marked `service` (excluded from tier-1).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== lint preflight =="
+python -m repro.lint src
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+echo "== clean run =="
+python -m repro.service --sessions 300 --report "$workdir/clean.json"
+
+echo "== chaos run (all service sites + kill lane) =="
+python -m repro.service --sessions 300 --chaos-prob 0.05 --kill-prob 0.3 \
+    --report "$workdir/chaos.json"
+
+# Provisioned load for the drain lane: 8 lanes at an 80k-cycle mean
+# interarrival is just under capacity, so an uninterrupted run
+# completes every session — which is what makes "drain + resume loses
+# nothing" checkable as an exact count.
+drain_load=(--sessions 6000 --lanes 8 --mean-interarrival-cycles 80000)
+
+echo "== drain lane (SIGTERM mid-run) =="
+python -m repro.service "${drain_load[@]}" --collect-session-ids \
+    --checkpoint-dir "$workdir" --report "$workdir/drained.json" \
+    >/dev/null 2>&1 &
+pid=$!
+sleep 2
+kill -TERM "$pid" 2>/dev/null || true
+rc=0
+wait "$pid" || rc=$?
+if [[ "$rc" -ne 130 ]]; then
+    echo "FAIL: drained run exited $rc, expected 130" >&2
+    exit 1
+fi
+if [[ ! -f "$workdir/service-checkpoint.json" ]]; then
+    echo "FAIL: SIGTERM drain left no checkpoint" >&2
+    exit 1
+fi
+echo "   drained with checkpoint (exit 130)"
+
+echo "== resume =="
+python -m repro.service "${drain_load[@]}" --collect-session-ids \
+    --resume "$workdir/service-checkpoint.json" \
+    --checkpoint-dir "$workdir" --report "$workdir/resumed.json"
+python - "$workdir" <<'PY'
+import json, sys
+workdir = sys.argv[1]
+first = json.load(open(f"{workdir}/drained.json"))
+second = json.load(open(f"{workdir}/resumed.json"))
+a = set(first["session_ids"].get("completed", ()))
+b = set(second["session_ids"].get("completed", ()))
+acct1, acct2 = first["accounting"], second["accounting"]
+assert first["status"] == "drained" and second["status"] == "completed"
+assert not (a & b), "a session completed twice across the restart"
+offered = acct1["offered"] + acct2["offered"]
+assert offered == 6000, f"sessions lost across restart: {offered}/6000"
+assert len(a) + len(b) == 6000, (
+    f"non-completed exits under a provisioned load: {len(a)}+{len(b)}/6000"
+)
+assert acct2["resumed"] == acct1["checkpointed"], "checkpointed != resumed"
+print(f"   {len(a)} + {len(b)} completions, disjoint; "
+      f"{acct1['checkpointed']} checkpointed and all resumed")
+PY
+
+echo "== pytest -m service =="
+python -m pytest tests -o addopts="" -m service -q "$@"
+
+echo "service smoke test passed"

@@ -289,3 +289,102 @@ class DatasetCorruptionError(ReproError, ValueError):
     a confusing ``zipfile``/JSON error.  Subclasses :class:`ValueError`
     for compatibility with callers that caught the old validation errors.
     """
+
+
+class ServiceError(ReproError):
+    """The always-on session service failed a supervision-level duty.
+
+    Raised by :mod:`repro.service` for faults of the *service* itself —
+    a stalled device-time loop, a session scheduled on a quarantined
+    lane, a drain that could not checkpoint — never for an individual
+    session's own attack errors (those stay contained inside the
+    session's retry budget).
+    """
+
+
+class AdmissionRejected(ServiceError):
+    """A session was refused at the front door, with a typed reason.
+
+    Admission control *rejects loudly*: every refusal carries the
+    tenant, a stable machine-readable ``reason`` and — when the bucket
+    can predict it — how many device cycles until a token will be
+    available, so well-behaved load generators can back off instead of
+    hammering.  Reasons are drawn from a closed set so the exit-path
+    accounting (and the chaos matrix) can assert on *why* load was
+    turned away:
+
+    ``rate-limit``
+        the service-wide token bucket is empty
+    ``tenant-quota``
+        the tenant's device-time budget or in-flight cap is exhausted
+    ``queue-full``
+        the bounded admission queue is at capacity (backpressure)
+    ``circuit-open``
+        the overload controller has circuit-broken new admissions
+    ``admission-flap``
+        the ``service_admission_flap`` chaos fault spuriously refused an
+        otherwise admissible session
+    ``draining``
+        the service is in SIGTERM graceful drain
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        tenant: str = "",
+        reason: str = "",
+        retry_after_cycles: int | None = None,
+    ) -> None:
+        super().__init__(
+            message or f"admission rejected ({reason or 'unspecified'})"
+        )
+        self.tenant = tenant
+        self.reason = reason
+        self.retry_after_cycles = retry_after_cycles
+
+
+class SessionDeadlineExceeded(ServiceError):
+    """A session blew its per-session deadline budget (device cycles).
+
+    The deadline is the session's *containment boundary*: a stalled
+    round (e.g. the ``service_session_stall`` fault) is detected here
+    rather than wedging a device lane forever.  Carries the budget and
+    the observed elapsed cycles for the accounting ledger.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        session_id: str = "",
+        deadline_cycles: int | None = None,
+        elapsed_cycles: int | None = None,
+    ) -> None:
+        super().__init__(message or f"session {session_id or '?'} deadline")
+        self.session_id = session_id
+        self.deadline_cycles = deadline_cycles
+        self.elapsed_cycles = elapsed_cycles
+
+
+class LaneRevokedError(ServiceError):
+    """A device lane was revoked while a session held (or awaited) it.
+
+    The ``service_device_revoke`` fault site models a hypervisor
+    reclaiming a simulated DSA device mid-attack.  The fleet quarantines
+    the lane and rebuilds a replacement; the holding session retries on
+    another lane inside its bounded retry budget.
+    """
+
+    def __init__(self, message: str = "", lane_id: int | None = None) -> None:
+        super().__init__(message or f"device lane {lane_id} revoked")
+        self.lane_id = lane_id
+
+
+class ServiceOverloadError(ServiceError):
+    """The run ended in a degraded state that breaches the service floor.
+
+    Raised by the CLI layer (``python -m repro.service``) after final
+    accounting when the overload controller had to open the admission
+    circuit *and* the completed fraction of offered load fell below the
+    configured floor — the condition mapped to
+    :data:`repro.experiments.runner.EXIT_OVERLOAD`.
+    """

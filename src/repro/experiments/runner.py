@@ -39,6 +39,11 @@ Exit codes (also used by ``python -m repro.experiments``):
 :data:`EXIT_POISONED` (8)      the worker pool quarantined poison trials
                                (they repeatedly killed their workers);
                                the rest of the artifact is journaled
+:data:`EXIT_OVERLOAD` (9)      the always-on service (``repro.service``)
+                               finished degraded: the overload controller
+                               opened the admission circuit and the
+                               completion floor was missed — offered load
+                               exceeded what the fleet could serve
 :data:`EXIT_DEADLINE` (75)     soft deadline hit after checkpointing
                                (EX_TEMPFAIL: re-run with ``--resume``)
 :data:`EXIT_INTERRUPTED` (130) SIGINT/SIGTERM after checkpointing
@@ -86,6 +91,7 @@ EXIT_REPRO = 4
 EXIT_CONFIG_MISMATCH = 5
 EXIT_INVARIANT = 6  # a runtime invariant tripped: model state untrusted
 EXIT_POISONED = 8  # pool quarantined worker-killing trials; rest journaled
+EXIT_OVERLOAD = 9  # service finished overloaded: circuit open, floor missed
 EXIT_DEADLINE = 75  # EX_TEMPFAIL: partial, resumable
 EXIT_INTERRUPTED = 130  # 128 + SIGINT, conventionally
 

@@ -58,6 +58,17 @@ class FaultSite(enum.Enum):
     ``POOL_RESULT_CORRUPT``     the worker's checksummed shared-memory result
                                 frame for the trial is garbled in flight, so the
                                 parent must detect it via CRC and heal
+    ``SERVICE_SESSION_STALL``   an attack session wedges for ``magnitude_cycles``
+                                of device time mid-round (lost wakeup, hung
+                                guest); the session's deadline budget must
+                                detect it rather than wedging its lane
+    ``SERVICE_ADMISSION_FLAP``  the admission controller spuriously refuses an
+                                otherwise admissible session (control-plane
+                                flakiness); surfaces as a typed
+                                ``AdmissionRejected(reason="admission-flap")``
+    ``SERVICE_DEVICE_REVOKE``   a device lane is revoked while held (hypervisor
+                                reclaim); the fleet quarantines and rebuilds
+                                the lane, the holding session retries elsewhere
     ==========================  =====================================================
     """
 
@@ -73,6 +84,9 @@ class FaultSite(enum.Enum):
     POOL_WORKER_CRASH = "pool_worker_crash"
     POOL_WORKER_STALL = "pool_worker_stall"
     POOL_RESULT_CORRUPT = "pool_result_corrupt"
+    SERVICE_SESSION_STALL = "service_session_stall"
+    SERVICE_ADMISSION_FLAP = "service_admission_flap"
+    SERVICE_DEVICE_REVOKE = "service_device_revoke"
 
 
 #: ``kind`` values accepted by ``COMPLETION_ERROR`` specs.

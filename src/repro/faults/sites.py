@@ -39,6 +39,9 @@ SITE_OWNERS: Mapping[FaultSite, tuple[str, ...]] = MappingProxyType(
         FaultSite.POOL_WORKER_CRASH: ("repro.experiments.pool",),
         FaultSite.POOL_WORKER_STALL: ("repro.experiments.pool",),
         FaultSite.POOL_RESULT_CORRUPT: ("repro.experiments.pool",),
+        FaultSite.SERVICE_SESSION_STALL: ("repro.service.session",),
+        FaultSite.SERVICE_ADMISSION_FLAP: ("repro.service.admission",),
+        FaultSite.SERVICE_DEVICE_REVOKE: ("repro.service.devices",),
     }
 )
 
@@ -81,6 +84,18 @@ POOL_SITES: tuple[FaultSite, ...] = (
     FaultSite.POOL_WORKER_CRASH,
     FaultSite.POOL_WORKER_STALL,
     FaultSite.POOL_RESULT_CORRUPT,
+)
+
+#: Control-plane sites the always-on session service registers on its
+#: own injector (:mod:`repro.service`).  Like :data:`POOL_SITES` they
+#: target the orchestration substrate — admission, session scheduling,
+#: lane custody — not the simulated hardware, so no device/timeline
+#: attachment registers them; :meth:`AttackService` claims each site
+#: for the owning service module at startup.
+SERVICE_SITES: tuple[FaultSite, ...] = (
+    FaultSite.SERVICE_SESSION_STALL,
+    FaultSite.SERVICE_ADMISSION_FLAP,
+    FaultSite.SERVICE_DEVICE_REVOKE,
 )
 
 

@@ -37,6 +37,7 @@ from repro.invariants.monitor import (
     coerce_mode,
 )
 from repro.invariants.pool import PoolStateChecker
+from repro.invariants.service import ServiceStateChecker
 
 __all__ = [
     "ArbiterFairnessChecker",
@@ -49,6 +50,7 @@ __all__ = [
     "MonitorMode",
     "MUTATING_METHODS",
     "PoolStateChecker",
+    "ServiceStateChecker",
     "TimelineChecker",
     "WqCreditChecker",
     "coerce_mode",

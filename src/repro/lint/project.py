@@ -57,7 +57,7 @@ from repro.lint.checker import FileContext, ImportResolver
 
 #: Bumped whenever the summary format or extraction logic changes, so a
 #: stale cache is discarded instead of silently misread.
-SUMMARY_VERSION = 1
+SUMMARY_VERSION = 2
 
 #: Callables whose return value *is* a fresh RNG stream.  Which lattice
 #: label the stream gets (blessed vs unblessed) depends on the resolved
@@ -202,6 +202,7 @@ class CallSite:
     args: list[list[str]] = field(default_factory=list)  # atoms per position
     keywords: dict[str, list[str]] = field(default_factory=dict)
     managed: bool = False  # value tied to a release/ownership path
+    awaited: bool = False  # call expression directly under an ``await``
     line_text: str = ""
 
     def to_json(self) -> dict[str, Any]:
@@ -214,6 +215,7 @@ class CallSite:
                 k: sorted(v) for k, v in sorted(self.keywords.items())
             },
             "managed": self.managed,
+            "awaited": self.awaited,
             "line_text": self.line_text,
         }
 
@@ -226,6 +228,7 @@ class CallSite:
             args=[list(a) for a in raw["args"]],
             keywords={k: list(v) for k, v in raw["keywords"].items()},
             managed=raw["managed"],
+            awaited=raw["awaited"],
             line_text=raw["line_text"],
         )
 
@@ -311,6 +314,7 @@ class FunctionSummary:
     rng_sites: list[RngSite] = field(default_factory=list)
     returns: list[str] = field(default_factory=list)  # atoms
     acquires_resource: bool = False
+    is_async: bool = False
     global_writes: list[GlobalWrite] = field(default_factory=list)
 
     def rng_site(self, atom: str) -> RngSite | None:
@@ -329,6 +333,7 @@ class FunctionSummary:
             "rng_sites": [r.to_json() for r in self.rng_sites],
             "returns": sorted(self.returns),
             "acquires_resource": self.acquires_resource,
+            "is_async": self.is_async,
             "global_writes": [w.to_json() for w in self.global_writes],
         }
 
@@ -342,6 +347,7 @@ class FunctionSummary:
             rng_sites=[RngSite.from_json(r) for r in raw["rng_sites"]],
             returns=list(raw["returns"]),
             acquires_resource=raw["acquires_resource"],
+            is_async=raw["is_async"],
             global_writes=[
                 GlobalWrite.from_json(w) for w in raw["global_writes"]
             ],
@@ -455,9 +461,11 @@ class _FunctionExtractor:
         summarizer: "ModuleSummarizer",
         func: ast.FunctionDef | ast.AsyncFunctionDef,
         qname: str,
+        class_qname: "str | None" = None,
     ) -> None:
         self.s = summarizer
         self.func = func
+        self.class_qname = class_qname
         args = func.args
         params = [
             a.arg
@@ -465,7 +473,10 @@ class _FunctionExtractor:
             if a.arg not in ("self", "cls")
         ]
         self.summary = FunctionSummary(
-            qname=qname, line=func.lineno, params=params
+            qname=qname,
+            line=func.lineno,
+            params=params,
+            is_async=isinstance(func, ast.AsyncFunctionDef),
         )
         self.env: dict[str, set[str]] = {p: {f"P:{p}"} for p in params}
         # Python scoping, computed up front: a plain assignment only
@@ -490,6 +501,15 @@ class _FunctionExtractor:
         self._named_calls: dict[str, list[int]] = {}
         self._safe_names: set[str] = set()
         self._collect_managed(func.body)
+        # Call expressions sitting directly under an ``await`` — the
+        # ASY101 blocking-call rule needs to tell ``await q.get()``
+        # apart from a bare (blocking) ``sock.recv()``.
+        self._awaited_ids: set[int] = {
+            id(node.value)
+            for node in _iter_scope(func.body)
+            if isinstance(node, ast.Await)
+            and isinstance(node.value, ast.Call)
+        }
 
     # -- managed-call analysis (same escape set as PAR002) -------------
     def _collect_managed(self, body: list[ast.stmt]) -> None:
@@ -683,8 +703,23 @@ class _FunctionExtractor:
             if isinstance(child, ast.expr):
                 self._expr_atoms(child, out)
 
+    def _resolve_self_call(self, node: ast.Call) -> "str | None":
+        """Resolve ``self.method(...)`` / ``cls.method(...)`` to the
+        enclosing class's qualified method name, so the project call
+        graph can follow intra-class edges."""
+        if self.class_qname is None:
+            return None
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+        ):
+            return f"{self.class_qname}.{func.attr}"
+        return None
+
     def _call_atoms(self, node: ast.Call, out: set[str]) -> None:
-        origin = self.s.resolve_callee(node)
+        origin = self._resolve_self_call(node) or self.s.resolve_callee(node)
         # In-place mutation of a module global through a method call:
         # ``_corpus.append(case)``.
         if (
@@ -739,6 +774,7 @@ class _FunctionExtractor:
                 args=[sorted(a) for a in arg_atom_lists],
                 keywords={k: sorted(v) for k, v in kw_atoms.items()},
                 managed=self._call_is_managed(node),
+                awaited=id(node) in self._awaited_ids,
                 line_text=self.s.line_text(node.lineno),
             )
         )
@@ -821,14 +857,15 @@ class ModuleSummarizer:
                     self, node, qname
                 ).run()
             elif isinstance(node, ast.ClassDef):
-                summary.classes.append(f"{prefix}.{node.name}")
+                class_qname = f"{prefix}.{node.name}"
+                summary.classes.append(class_qname)
                 for item in node.body:
                     if isinstance(
                         item, (ast.FunctionDef, ast.AsyncFunctionDef)
                     ):
-                        qname = f"{prefix}.{node.name}.{item.name}"
+                        qname = f"{class_qname}.{item.name}"
                         summary.functions[qname] = _FunctionExtractor(
-                            self, item, qname
+                            self, item, qname, class_qname=class_qname
                         ).run()
         summary.module_globals = sorted(self.mutable_globals)
         return summary

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.lint.checker import Checker, ProjectChecker
 from repro.lint.rules.api001_trial_keys import TrialKeyChecker
+from repro.lint.rules.asy101_blocking_async import BlockingAsyncChecker
 from repro.lint.rules.det001_rng import UnseededRngChecker
 from repro.lint.rules.det002_wallclock import WallClockChecker
 from repro.lint.rules.det003_ordering import OrderingChecker
@@ -49,6 +50,7 @@ ALL_CHECKERS: tuple[type[Checker], ...] = (
 
 #: Every registered whole-program checker, in rule-id order.
 PROJECT_CHECKERS: tuple[type[ProjectChecker], ...] = (
+    BlockingAsyncChecker,
     SeedProvenanceChecker,
     ClockTaintChecker,
     LeakPathChecker,
@@ -71,6 +73,7 @@ __all__ = [
     "PROJECT_CHECKERS",
     "PROJECT_RULES",
     "RULES",
+    "BlockingAsyncChecker",
     "BroadExceptChecker",
     "ClockTaintChecker",
     "FaultSiteChecker",

@@ -1,0 +1,182 @@
+"""CLI entry point: ``python -m repro.service``.
+
+Runs the always-on session service against a generated open-loop
+schedule (or a drain checkpoint via ``--resume``) and exits with the
+runner's documented status codes:
+
+=====  ==========================================================
+code   meaning
+=====  ==========================================================
+0      run completed; accounting balanced
+6      an invariant tripped: service bookkeeping untrusted
+9      overloaded: the circuit opened and the completion floor
+       was missed (:class:`~repro.errors.ServiceOverloadError`)
+130    SIGTERM drain: active sessions checkpointed for ``--resume``
+=====  ==========================================================
+
+SIGTERM is the graceful-drain signal: the handler only flips the
+service's drain flag (signal-safe); the device-time loop then stops
+admissions with typed ``draining`` rejections, finishes or checkpoints
+every in-flight session, and writes the drain checkpoint before exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+
+from repro.errors import (
+    InvariantViolation,
+    ResumeMismatchError,
+    ServiceOverloadError,
+)
+from repro.experiments.checkpoint import atomic_write_json
+from repro.experiments.runner import EXIT_CONFIG_MISMATCH, EXIT_INVARIANT
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.sites import SERVICE_SITES
+from repro.service.app import AttackService
+from repro.service.config import ServiceConfig
+from repro.service.loadgen import (
+    LoadConfig,
+    build_schedule,
+    make_session_killer,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Run the always-on attack session service.",
+    )
+    parser.add_argument("--sessions", type=int, default=1000)
+    parser.add_argument("--tenants", type=int, default=8)
+    parser.add_argument("--lanes", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument("--load-seed", type=int, default=7)
+    parser.add_argument(
+        "--mean-interarrival-cycles", type=float, default=50_000.0
+    )
+    parser.add_argument("--queue-capacity", type=int, default=1024)
+    parser.add_argument("--max-concurrent", type=int, default=2048)
+    parser.add_argument("--probe-rounds", type=int, default=3)
+    parser.add_argument(
+        "--chaos-prob",
+        type=float,
+        default=0.0,
+        help="arm every service fault site at this per-opportunity"
+        " probability (0 disables the chaos plan)",
+    )
+    parser.add_argument(
+        "--kill-prob",
+        type=float,
+        default=0.0,
+        help="session-kill chaos lane probability per wake",
+    )
+    parser.add_argument(
+        "--stampede-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of sessions arriving as one stampeding tenant",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=".",
+        help="where a SIGTERM drain writes its checkpoint",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        help="resume from a drain checkpoint written by a previous run",
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        help="write the JSON service report to this path",
+    )
+    parser.add_argument(
+        "--collect-session-ids",
+        action="store_true",
+        help="record per-exit-path session ids in the report",
+    )
+    return parser
+
+
+def _chaos_plan(seed: int, probability: float) -> "FaultPlan | None":
+    if probability <= 0.0:
+        return None
+    return FaultPlan(
+        seed=seed,
+        specs=tuple(
+            FaultSpec(site=site, probability=probability)
+            for site in SERVICE_SITES
+        ),
+    )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = _build_parser().parse_args(argv)
+    config = ServiceConfig(
+        seed=args.seed,
+        lanes=args.lanes,
+        queue_capacity=args.queue_capacity,
+        max_concurrent_sessions=args.max_concurrent,
+        fault_plan=_chaos_plan(args.seed, args.chaos_prob),
+        collect_session_ids=args.collect_session_ids,
+    )
+    load = LoadConfig(
+        sessions=args.sessions,
+        tenants=args.tenants,
+        seed=args.load_seed,
+        mean_interarrival_cycles=args.mean_interarrival_cycles,
+        probe_rounds=args.probe_rounds,
+        kill_probability=args.kill_prob,
+        stampede_fraction=args.stampede_fraction,
+    )
+    service = AttackService(config)
+    signal.signal(signal.SIGTERM, lambda *_args: service.request_drain())
+    # A resumed run's work comes from the checkpoint (re-admitted
+    # in-flight sessions plus the unoffered pending tail); offering a
+    # freshly generated schedule on top would replay the same session
+    # ids into a second life.
+    schedule = [] if args.resume else build_schedule(load)
+    try:
+        report = service.run(
+            schedule,
+            chaos=make_session_killer(load),
+            resume_from=args.resume,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+    except ResumeMismatchError as exc:
+        print(f"resume mismatch: {exc}", file=sys.stderr)
+        return EXIT_CONFIG_MISMATCH
+    except InvariantViolation as exc:
+        print(f"invariant violation: {exc}", file=sys.stderr)
+        return EXIT_INVARIANT
+    if args.report:
+        atomic_write_json(args.report, report.to_json())
+    acct = report.accounting
+    print(
+        f"status={report.status}"
+        f" offered={acct.offered} resumed={acct.resumed}"
+        f" completed={acct.completed} rejected={acct.rejected_total}"
+        f" shed={acct.shed} failed={acct.failed_total}"
+        f" quarantined={acct.quarantined}"
+        f" checkpointed={acct.checkpointed}"
+        f" p50={report.latency_cycles['p50']:.0f}cyc"
+        f" p99={report.latency_cycles['p99']:.0f}cyc"
+        f" virtual={report.virtual_cycles}cyc"
+    )
+    if report.checkpoint_path:
+        print(f"drain checkpoint: {report.checkpoint_path}")
+    if report.status == "overloaded":
+        overload = ServiceOverloadError(
+            f"completed {acct.completed}/{acct.offered} below the"
+            f" {config.completion_floor:.0%} floor with the circuit open"
+        )
+        print(f"overloaded: {overload}", file=sys.stderr)
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

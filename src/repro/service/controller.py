@@ -1,0 +1,131 @@
+"""The overload controller: degrade, then shed, then circuit-break.
+
+The service never fails open under overload — it degrades in three
+deliberate steps, each cheaper than the last:
+
+``normal → degraded``
+    Probe cadence stretches (sessions sleep
+    ``degraded_cadence_multiplier`` × longer between rounds).  Every
+    admitted session still completes; throughput bends instead of
+    breaking.
+``degraded → shedding``
+    The service sheds *lowest-priority* active sessions (deterministic
+    tie-break by session id) until pressure subsides.  Shedding is a
+    typed exit path, fully accounted — never a timeout.
+``shedding → circuit-open``
+    New admissions are refused (``circuit-open``) while the backlog
+    drains.  Hysteresis (``exit_ratio`` plus a one-tick dwell) keeps
+    the breaker from flapping.
+
+Pressure is a blend of an EWMA of completed-session latency (in device
+cycles, normalized by ``target_latency_cycles``) and instantaneous
+queue occupancy — the two signals that rise first when offered load
+outruns the fleet.
+"""
+
+from __future__ import annotations
+
+from repro.service.config import ServiceConfig
+
+MODE_NORMAL = "normal"
+MODE_DEGRADED = "degraded"
+MODE_SHEDDING = "shedding"
+MODE_CIRCUIT_OPEN = "circuit-open"
+
+_ORDER = (MODE_NORMAL, MODE_DEGRADED, MODE_SHEDDING, MODE_CIRCUIT_OPEN)
+
+
+class OverloadController:
+    """EWMA pressure tracking with hysteresis between modes."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self._config = config
+        self.mode = MODE_NORMAL
+        self.ewma_latency = 0.0
+        self._queue_ratio = 0.0
+        self._ticks_in_mode = 0
+        self.circuit_opened = 0
+        self.transitions: list[tuple[int, str]] = []
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+    def observe_latency(self, latency_cycles: int) -> None:
+        """Fold one completed-session latency into the EWMA."""
+        alpha = self._config.ewma_alpha
+        if self.ewma_latency == 0.0:
+            self.ewma_latency = float(latency_cycles)
+        else:
+            self.ewma_latency += alpha * (latency_cycles - self.ewma_latency)
+
+    def observe_queue(self, depth: int, capacity: int) -> None:
+        self._queue_ratio = depth / capacity if capacity else 0.0
+
+    @property
+    def pressure(self) -> float:
+        """The blended overload score (1.0 ≈ the target operating point)."""
+        latency_ratio = (
+            self.ewma_latency / self._config.target_latency_cycles
+        )
+        return 0.7 * latency_ratio + 1.3 * self._queue_ratio
+
+    # ------------------------------------------------------------------
+    # Mode machine
+    # ------------------------------------------------------------------
+    def _target_mode(self) -> str:
+        p = self.pressure
+        cfg = self._config
+        entry = {
+            MODE_CIRCUIT_OPEN: cfg.circuit_pressure,
+            MODE_SHEDDING: cfg.shed_pressure,
+            MODE_DEGRADED: cfg.degraded_pressure,
+        }
+        current_rank = _ORDER.index(self.mode)
+        for mode in (MODE_CIRCUIT_OPEN, MODE_SHEDDING, MODE_DEGRADED):
+            threshold = entry[mode]
+            # Hysteresis: stepping *down* out of a mode needs pressure
+            # below exit_ratio × its entry threshold plus a dwell tick.
+            if _ORDER.index(mode) <= current_rank:
+                threshold *= cfg.exit_ratio
+            if p >= threshold:
+                return mode
+        return MODE_NORMAL
+
+    def update(self, now_cycles: int) -> str:
+        """One controller tick; returns the (possibly new) mode."""
+        self._ticks_in_mode += 1
+        target = self._target_mode()
+        if target is not self.mode and (
+            _ORDER.index(target) > _ORDER.index(self.mode)
+            or self._ticks_in_mode >= 2
+        ):
+            self.mode = target
+            self._ticks_in_mode = 0
+            self.transitions.append((now_cycles, target))
+            if target is MODE_CIRCUIT_OPEN:
+                self.circuit_opened += 1
+        return self.mode
+
+    # ------------------------------------------------------------------
+    # Effects
+    # ------------------------------------------------------------------
+    @property
+    def admissions_open(self) -> bool:
+        return self.mode is not MODE_CIRCUIT_OPEN
+
+    def cadence_multiplier(self) -> int:
+        """Inter-round gap stretch for the current mode."""
+        if self.mode is MODE_NORMAL:
+            return 1
+        return self._config.degraded_cadence_multiplier
+
+    @property
+    def shedding(self) -> bool:
+        return self.mode in (MODE_SHEDDING, MODE_CIRCUIT_OPEN)
+
+    def shed_quota(self, active: int) -> int:
+        """How many active sessions one shed pass may cancel."""
+        if not self.shedding or active == 0:
+            return 0
+        # Shed in small deterministic bites; the next tick re-evaluates.
+        return max(1, active // 8)

@@ -30,7 +30,13 @@ from repro.experiments.checkpoint import CheckpointJournal
 from repro.experiments.guard import _unacknowledged, run_guarded_trials
 from repro.experiments.runner import ExperimentPlan, TrialSpec, run_experiment
 from repro.faults import FaultPlan, FaultSite
-from repro.faults.sites import DEVICE_SITES, POOL_SITES, TIMELINE_SITES
+from repro.faults.plan import FaultSpec
+from repro.faults.sites import (
+    DEVICE_SITES,
+    POOL_SITES,
+    SERVICE_SITES,
+    TIMELINE_SITES,
+)
 from repro.hw.clock import TscClock
 from repro.invariants import InvariantMonitor
 from repro.virt.scheduler import Timeline
@@ -92,11 +98,17 @@ class TestMatrixCoversEverySite:
 
         Pool sites live in their own matrix
         (``tests/chaos/test_pool_fault_matrix.py``) because they fire
-        inside pool workers, not inside device trials.
+        inside pool workers, not inside device trials; service sites
+        fire inside the session service's control plane and are covered
+        by :class:`TestServiceFaultMatrix` below.
         """
         assert set(DEVICE_MATRIX) == set(DEVICE_SITES)
+        assert set(SERVICE_MATRIX) == set(SERVICE_SITES)
         assert (
-            set(DEVICE_SITES) | set(TIMELINE_SITES) | set(POOL_SITES)
+            set(DEVICE_SITES)
+            | set(TIMELINE_SITES)
+            | set(POOL_SITES)
+            | set(SERVICE_SITES)
             == set(FaultSite)
         )
 
@@ -234,6 +246,84 @@ class TestGuardAudit:
         assert violation.events, "event window must be populated"
         assert violation.snapshot.get("wq0.occupancy") is not None
         assert "--seed 17" in violation.repro
+
+
+def _service_report(site, probability=1.0, sessions=10, **spec_kwargs):
+    """One small service run with *site* armed; returns (service, report)."""
+    from repro.service.app import AttackService
+    from repro.service.config import ServiceConfig
+    from repro.service.loadgen import LoadConfig, build_schedule
+
+    config = ServiceConfig(
+        seed=11,
+        lanes=2,
+        fault_plan=FaultPlan(
+            seed=11,
+            specs=(
+                FaultSpec(
+                    site=site, probability=probability, **spec_kwargs
+                ),
+            ),
+        ),
+    )
+    service = AttackService(config)
+    report = service.run(
+        build_schedule(LoadConfig(sessions=sessions, seed=3))
+    )
+    return service, report
+
+
+#: Service-site cells: per-site arming plus the handled-outcome probe.
+#: Each probe returns truthy evidence that the fault surfaced as a
+#: *typed, accounted* outcome — never a silent absorption.
+SERVICE_MATRIX = {
+    # Every round boundary stalls; the stall is acknowledged into the
+    # deadline budget and sessions still terminate with balanced books.
+    FaultSite.SERVICE_SESSION_STALL: {
+        "kwargs": {"probability": 0.5, "magnitude_cycles": 200_000},
+        "handled": lambda r: r.accounting.terminal_total
+        == r.accounting.offered,
+    },
+    # Every admission attempt flaps: all sessions exit through the
+    # typed ``admission-flap`` rejection lane.
+    FaultSite.SERVICE_ADMISSION_FLAP: {
+        "kwargs": {"probability": 1.0},
+        "handled": lambda r: r.accounting.rejected.get("admission-flap", 0)
+        > 0,
+    },
+    # Every lane hand-out revokes: lanes quarantine and rebuild, and
+    # sessions exhaust their retry budget into typed failures.
+    FaultSite.SERVICE_DEVICE_REVOKE: {
+        "kwargs": {"probability": 1.0},
+        "handled": lambda r: r.lane_stats["lanes_rebuilt"] > 0
+        and r.accounting.failed_total > 0,
+    },
+}
+
+
+@pytest.mark.service
+class TestServiceFaultMatrix:
+    """Handled-or-detected rows for the session service's control-plane
+    sites: the site fires on the service injector, the effect surfaces
+    as a typed accounted outcome, and the final ledger carries no
+    unacknowledged events (the same audit ``_finalize`` folds into
+    every service report)."""
+
+    @pytest.mark.parametrize(
+        "site", sorted(SERVICE_MATRIX, key=lambda s: s.value)
+    )
+    def test_service_site_is_handled_or_detected(self, site):
+        cell = SERVICE_MATRIX[site]
+        service, report = _service_report(site, **cell["kwargs"])
+        assert service.injector is not None
+        assert service.injector.total_fired >= 1, f"{site.value} never fired"
+        assert report.unacknowledged_faults == {}, (
+            f"{site.value} left unacknowledged events on the ledger"
+        )
+        assert cell["handled"](report), (
+            f"{site.value} fired but produced no typed handled outcome"
+        )
+        assert report.accounting.balances()
 
 
 class TestChaosSoakComposition:
@@ -427,11 +517,16 @@ class TestParallelFaultMatrix:
 
     @pytest.mark.parametrize(
         "site",
-        sorted(set(FaultSite) - set(POOL_SITES), key=lambda s: s.value),
+        sorted(
+            set(FaultSite) - set(POOL_SITES) - set(SERVICE_SITES),
+            key=lambda s: s.value,
+        ),
     )
     def test_site_is_handled_or_detected_in_sharded_run(self, site, tmp_path):
         # Pool sites fire inside pool workers, not inside trials; their
         # handled-or-detected coverage is test_pool_fault_matrix.py.
+        # Service sites fire inside the session service's control plane;
+        # their coverage is TestServiceFaultMatrix above.
         run_experiment(
             _parallel_matrix_plan(site.value),
             run_dir=tmp_path,

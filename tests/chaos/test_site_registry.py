@@ -15,6 +15,7 @@ from repro.faults import FaultInjector, FaultPlan, FaultSite
 from repro.faults.sites import (
     DEVICE_SITES,
     POOL_SITES,
+    SERVICE_SITES,
     SITE_OWNERS,
     TIMELINE_SITES,
     coerce_site,
@@ -49,7 +50,12 @@ class TestSiteMap:
         assert set(SITE_OWNERS) == set(FaultSite)
 
     def test_site_families_partition_the_enum(self):
-        families = (set(DEVICE_SITES), set(TIMELINE_SITES), set(POOL_SITES))
+        families = (
+            set(DEVICE_SITES),
+            set(TIMELINE_SITES),
+            set(POOL_SITES),
+            set(SERVICE_SITES),
+        )
         assert set().union(*families) == set(FaultSite)
         for i, left in enumerate(families):
             for right in families[i + 1:]:
@@ -95,6 +101,8 @@ class TestRegistry:
         injector.attach_timeline(FakeTimeline())
         for site in POOL_SITES:
             injector.register_site(site, "pool-worker-0")
+        for site in SERVICE_SITES:
+            injector.register_site(site, "service-control-plane")
         assert set(injector.registered_sites) == set(FaultSite)
         with pytest.raises(ConfigurationError, match="already hooked"):
             injector.register_site(POOL_SITES[0], "pool-worker-1")

@@ -1,0 +1,301 @@
+"""Unit tests for the device-time loop and its primitives.
+
+The loop is the service's only clock, so these run in tier-1: wakeup
+ordering must be a pure function of the schedule, cancellation must
+never wedge or time-travel the loop, and every primitive must preserve
+the busy-count accounting that lets virtual time advance.
+"""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.loop import (
+    BoundedQueue,
+    DeviceTimeLoop,
+    VirtualEvent,
+    VirtualLock,
+)
+
+
+def drive(main_factory, **loop_kwargs):
+    """Build a loop, run ``main_factory(loop)``, return (loop, result)."""
+    loop = DeviceTimeLoop(**loop_kwargs)
+    result = loop.run(main_factory(loop))
+    return loop, result
+
+
+class TestVirtualTime:
+    def test_sleep_advances_virtual_time_exactly(self):
+        async def main(loop):
+            await loop.sleep_cycles(1_000)
+            return loop.now
+
+        loop, result = drive(main)
+        assert result == 1_000
+        assert loop.now == 1_000
+
+    def test_start_cycles_offsets_the_clock(self):
+        async def main(loop):
+            await loop.sleep_cycles(5)
+            return loop.now
+
+        _, result = drive(main, start_cycles=10_000)
+        assert result == 10_005
+
+    def test_wakeup_order_is_due_time_then_insertion(self):
+        order = []
+
+        async def sleeper(loop, due, tag):
+            await loop.sleep_until(due)
+            order.append(tag)
+
+        async def main(loop):
+            # Same due time: insertion order breaks the tie.
+            loop.spawn(sleeper(loop, 200, "b1"))
+            loop.spawn(sleeper(loop, 100, "a"))
+            loop.spawn(sleeper(loop, 200, "b2"))
+            await loop.sleep_until(300)
+
+        drive(main)
+        assert order == ["a", "b1", "b2"]
+
+    def test_schedule_is_deterministic_across_runs(self):
+        async def workload(loop, log):
+            async def worker(i):
+                for step in range(3):
+                    await loop.sleep_cycles(10 * (i + 1))
+                    log.append((loop.now, i, step))
+
+            tasks = [loop.spawn(worker(i)) for i in range(5)]
+            for task in tasks:
+                await loop.join(task)
+
+        logs = []
+        for _ in range(2):
+            log = []
+            loop = DeviceTimeLoop()
+            loop.run(workload(loop, log))
+            logs.append(log)
+        assert logs[0] == logs[1]
+
+    def test_zero_sleep_still_yields(self):
+        ran = []
+
+        async def other(loop):
+            ran.append("other")
+
+        async def main(loop):
+            loop.spawn(other(loop))
+            await loop.sleep_cycles(0)
+            return list(ran)
+
+        _, result = drive(main)
+        assert result == ["other"]
+
+
+class TestCancellation:
+    def test_cancelling_a_parked_task_does_not_wedge(self):
+        async def parked(loop):
+            await loop.sleep_until(10**12)
+
+        async def main(loop):
+            task = loop.spawn(parked(loop))
+            await loop.sleep_cycles(100)
+            task.cancel()
+            await loop.join(task)
+            # The dead wakeup must not drag virtual time to 10**12.
+            await loop.sleep_cycles(100)
+            return loop.now
+
+        _, result = drive(main)
+        assert result == 200
+
+    def test_cancelled_event_waiter_is_pruned(self):
+        async def main(loop):
+            event = VirtualEvent(loop)
+            waiter = loop.spawn(event.wait())
+            await loop.sleep_cycles(10)
+            waiter.cancel()
+            await loop.join(waiter)
+            assert waiter.cancelled()
+            return loop.now
+
+        _, result = drive(main)
+        assert result == 10
+
+    def test_join_does_not_reraise(self):
+        async def poisoned(loop):
+            raise ValueError("contained")
+
+        async def main(loop):
+            task = loop.spawn(poisoned(loop))
+            await loop.join(task)  # must not raise here
+            return type(task.exception()).__name__
+
+        _, result = drive(main)
+        assert result == "ValueError"
+
+
+class TestFailureModes:
+    def test_foreign_park_is_detected_as_deadlock(self):
+        import asyncio
+
+        async def foreign_wait(loop):
+            # Parks on a future no loop primitive will ever resolve.
+            # _park is never used, so the busy counter still counts the
+            # task runnable and the wedge detector fires.
+            await asyncio.get_running_loop().create_future()
+
+        async def main(loop):
+            loop.spawn(foreign_wait(loop))
+            await loop.sleep_cycles(10**9)
+
+        loop = DeviceTimeLoop()
+        with pytest.raises(ServiceError, match="wedged"):
+            loop.run(main(loop))
+
+    def test_no_wakeup_deadlock_is_detected(self):
+        async def waits_forever(loop):
+            # Parks correctly (busy drops) but nothing will ever set
+            # the event: empty heap + zero busy = declared deadlock.
+            await VirtualEvent(loop).wait()
+
+        loop = DeviceTimeLoop()
+        with pytest.raises(ServiceError, match="deadlock"):
+            loop.run(waits_forever(loop))
+
+    def test_spawn_outside_run_raises(self):
+        loop = DeviceTimeLoop()
+
+        async def never():  # pragma: no cover - never awaited
+            pass
+
+        coro = never()
+        with pytest.raises(ServiceError, match="outside run"):
+            loop.spawn(coro)
+        coro.close()
+
+
+class TestEventAndLock:
+    def test_event_wakes_all_waiters_at_set_instant(self):
+        woken = []
+
+        async def waiter(loop, event, tag):
+            await event.wait()
+            woken.append((tag, loop.now))
+
+        async def main(loop):
+            event = VirtualEvent(loop)
+            for tag in ("a", "b"):
+                loop.spawn(waiter(loop, event, tag))
+            await loop.sleep_cycles(500)
+            event.set()
+            await loop.sleep_cycles(1)
+
+        drive(main)
+        assert woken == [("a", 500), ("b", 500)]
+
+    def test_event_clear_reparks_new_waiters(self):
+        async def main(loop):
+            event = VirtualEvent(loop)
+            event.set()
+            await event.wait()  # passes immediately
+            event.clear()
+            waiter = loop.spawn(event.wait())
+            await loop.sleep_cycles(10)
+            assert not waiter.done()
+            event.set()
+            await loop.join(waiter)
+            return True
+
+        _, result = drive(main)
+        assert result is True
+
+    def test_lock_is_fifo_and_exclusive(self):
+        order = []
+
+        async def holder(loop, lock, tag, hold):
+            async with lock:
+                order.append(tag)
+                await loop.sleep_cycles(hold)
+
+        async def main(loop):
+            lock = VirtualLock(loop)
+            tasks = [
+                loop.spawn(holder(loop, lock, tag, 100))
+                for tag in ("first", "second", "third")
+            ]
+            for task in tasks:
+                await loop.join(task)
+            assert not lock.locked
+            assert lock.waiting == 0
+
+        drive(main)
+        assert order == ["first", "second", "third"]
+
+    def test_release_unlocked_lock_raises(self):
+        async def main(loop):
+            lock = VirtualLock(loop)
+            with pytest.raises(ServiceError, match="unlocked"):
+                lock.release()
+            return True
+
+        drive(main)
+
+
+class TestBoundedQueue:
+    def test_try_put_reports_backpressure_without_blocking(self):
+        async def main(loop):
+            queue = BoundedQueue(loop, capacity=2)
+            assert queue.try_put(1) and queue.try_put(2)
+            assert not queue.try_put(3)  # the backpressure signal
+            assert len(queue) == 2
+            assert queue.high_water == 2
+            return await queue.get()
+
+        _, result = drive(main)
+        assert result == 1
+
+    def test_put_parks_until_a_get_frees_a_slot(self):
+        async def main(loop):
+            queue = BoundedQueue(loop, capacity=1)
+            await queue.put("a")
+            putter = loop.spawn(queue.put("b"))
+            await loop.sleep_cycles(10)
+            assert not putter.done()  # backpressured
+            assert await queue.get() == "a"
+            await loop.join(putter)
+            return await queue.get()
+
+        _, result = drive(main)
+        assert result == "b"
+
+    def test_get_parks_until_an_item_arrives(self):
+        async def main(loop):
+            queue = BoundedQueue(loop, capacity=4)
+            getter = loop.spawn(queue.get())
+            await loop.sleep_cycles(50)
+            assert not getter.done()
+            queue.try_put("late")
+            await loop.join(getter)
+            return getter.result()
+
+        _, result = drive(main)
+        assert result == "late"
+
+    def test_drain_empties_fifo_order(self):
+        async def main(loop):
+            queue = BoundedQueue(loop, capacity=8)
+            for i in range(5):
+                queue.try_put(i)
+            drained = queue.drain()
+            assert len(queue) == 0
+            return drained
+
+        _, result = drive(main)
+        assert result == [0, 1, 2, 3, 4]
+
+    def test_zero_capacity_rejected(self):
+        loop = DeviceTimeLoop()
+        with pytest.raises(ServiceError, match="capacity"):
+            BoundedQueue(loop, capacity=0)

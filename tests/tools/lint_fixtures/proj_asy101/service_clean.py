@@ -1,0 +1,19 @@
+# repro-lint-fixture-module: repro.service.fake_clean
+"""Negative twin: coroutines park on loop primitives only."""
+
+
+async def worker(loop, queue, done):
+    spec = await queue.get()
+    await loop.sleep_cycles(100)
+    # The awaited form is the loop's own VirtualEvent primitive.
+    await done.wait()
+    return spec
+
+
+async def helper_chain(loop):
+    return await _parked(loop)
+
+
+async def _parked(loop):
+    await loop.sleep_cycles(1)
+    return loop.now

@@ -1,0 +1,36 @@
+# repro-lint-fixture-module: repro.service.fake
+"""Pretend service module: a coroutine two hops from a host blocker."""
+
+import time
+
+
+async def dispatcher(queue):
+    spec = await queue.get()
+    return _handle(spec)
+
+
+def _handle(spec):
+    return _settle(spec)
+
+
+def _settle(spec):
+    # Host sleep on the device-time loop: every multiplexed session
+    # freezes, and the schedule re-couples to the wall clock.
+    time.sleep(0.1)
+    return spec
+
+
+def _snapshot(path, done):
+    # Both blockers sit in a sync helper a coroutine can reach: the
+    # bare Event.wait and the sync pathlib write.
+    done.wait()
+    path.write_text("snapshot")
+
+
+async def drainer(path, done):
+    return _snapshot(path, done)
+
+
+def parent_side(path):
+    # Same sync write, but unreachable from any coroutine — allowed.
+    path.write_text("parent")
